@@ -1,0 +1,84 @@
+//! Regenerates every table and figure of the BNS-GCN paper's evaluation
+//! on the synthetic stand-in datasets.
+//!
+//! ```text
+//! repro <experiment> [--scale small|full]
+//! repro all [--scale small|full]
+//! ```
+//!
+//! Experiments: table1, table2, fig3, fig4, table4, table5, fig5,
+//! table6, fig6, fig7, fig8, table7, table8, table9, table10, table11,
+//! table12, table13, fig9.
+
+use bns_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut exps: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale expects 'small' or 'full'");
+                        std::process::exit(2);
+                    });
+            }
+            other => exps.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if exps.is_empty() {
+        eprintln!("usage: repro <experiment|all> [--scale small|full]");
+        eprintln!("{}", EXPERIMENTS.join(", "));
+        std::process::exit(2);
+    }
+    if exps.iter().any(|e| e == "all") {
+        exps = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for e in &exps {
+        let t0 = std::time::Instant::now();
+        println!("\n==== {e} (scale: {scale:?}) ====");
+        run_experiment(e, scale);
+        println!("[{e} finished in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "fig3", "fig4", "table4", "table5", "fig5", "table6", "fig6", "fig7",
+    "fig8", "table7", "table8", "table9", "table10", "table11", "table12", "table13", "fig9", "ablations",
+];
+
+fn run_experiment(name: &str, scale: Scale) {
+    match name {
+        "table1" => exp_partition::table1(scale),
+        "fig3" => exp_partition::fig3(scale),
+        "table2" => exp_variance::table2(scale),
+        "fig4" => exp_throughput::fig4(scale),
+        "fig5" => exp_throughput::fig5(scale),
+        "table6" => exp_throughput::table6(scale),
+        "table12" => exp_throughput::table12(scale),
+        "table4" => exp_accuracy::table4(scale),
+        "table5" => exp_accuracy::table5(scale),
+        "table7" => exp_accuracy::table7(scale),
+        "table13" => exp_accuracy::table13(scale),
+        "fig7" => exp_accuracy::convergence(scale, "fig7"),
+        "fig9" => exp_accuracy::convergence(scale, "fig9"),
+        "fig6" => exp_memory::fig6(scale),
+        "fig8" => exp_memory::fig8(scale),
+        "table9" => exp_edge::table9(scale),
+        "table10" => exp_gat::table10(scale),
+        "table11" => exp_sampling::table11(scale),
+        "table8" => exp_sampling::table8(scale),
+        "ablations" => exp_ablation::all(scale),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Table 10: BNS-GCN speedup on a 2-layer GAT model — the paper's
+//! check that the method generalizes beyond GraphSAGE.
+
+use crate::{f2, print_table, Scale};
+use bns_gcn::engine::{train_with_plan, ModelArch, TrainConfig};
+use bns_gcn::plan::PartitionPlan;
+use bns_gcn::sampling::BoundarySampling;
+use bns_partition::{MetisLikePartitioner, Partitioner};
+use std::sync::Arc;
+
+/// Paper Table 10: epoch-time speedup of BNS-GCN on a 2-layer GAT with
+/// 10 partitions, per dataset and sampling rate.
+pub fn table10(scale: Scale) {
+    let cost = bns_comm::CostModel::pcie3();
+    let sets = [
+        ("reddit-sim", crate::reddit(scale)),
+        ("products-sim", crate::products(scale)),
+        ("yelp-sim", crate::yelp(scale)),
+    ];
+    let mut rows = Vec::new();
+    for (name, ds) in sets {
+        let part = MetisLikePartitioner::default().partition(&ds.graph, 10, 0);
+        let plan = Arc::new(PartitionPlan::build(&ds, &part));
+        let time_at = |p: f64| -> f64 {
+            let cfg = TrainConfig {
+                arch: ModelArch::Gat,
+                hidden: vec![64], // 2-layer GAT, as in the paper
+                dropout: 0.0,
+                lr: 0.01,
+                epochs: scale.epochs(3, 6),
+                sampling: BoundarySampling::Bns { p },
+                eval_every: 0,
+                seed: 7,
+                clip_norm: None,
+                pipeline: false,
+            };
+            let run = train_with_plan(&plan, &cfg);
+            run.avg_sim_epoch_scaled(&cost, crate::wscale(&ds)).total()
+        };
+        let base = time_at(1.0);
+        let mut cells = vec![name.to_string(), format!("1.00x ({:.3}s)", base)];
+        for p in [0.1, 0.01, 0.0] {
+            cells.push(format!("{}x", f2(base / time_at(p))));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "Table 10: simulated GAT epoch-time speedup, 10 partitions",
+        &["dataset", "p=1", "p=0.1", "p=0.01", "p=0"],
+        &rows,
+    );
+}

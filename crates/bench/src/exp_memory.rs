@@ -1,0 +1,94 @@
+//! Memory experiments: Figure 6 (memory reduction vs sampling rate) and
+//! Figure 8 (per-partition memory balance at 192 partitions).
+
+use crate::{pct, print_table, Scale};
+use bns_gcn::engine::{train_with_plan, ModelArch, TrainConfig};
+use bns_gcn::plan::PartitionPlan;
+use bns_gcn::sampling::BoundarySampling;
+use bns_partition::{MetisLikePartitioner, Partitioner};
+use std::sync::Arc;
+
+fn mem_cfg(p: f64) -> TrainConfig {
+    TrainConfig {
+        arch: ModelArch::Sage,
+        hidden: vec![64, 64],
+        dropout: 0.5,
+        lr: 0.01,
+        epochs: 3,
+        sampling: BoundarySampling::Bns { p },
+        eval_every: 0,
+        seed: 1,
+        clip_norm: None,
+        pipeline: false,
+    }
+}
+
+/// Paper Figure 6: peak per-rank memory (Eq. 4-style activation model)
+/// reduction relative to `p = 1`, across partition counts.
+pub fn fig6(scale: Scale) {
+    let sets = [
+        ("reddit-sim", crate::reddit(scale), vec![2usize, 4, 8]),
+        ("products-sim", crate::products(scale), vec![5, 8, 10]),
+    ];
+    for (name, ds, ks) in sets {
+        let mut rows = Vec::new();
+        for &k in &ks {
+            let part = MetisLikePartitioner::default().partition(&ds.graph, k, 0);
+            let plan = Arc::new(PartitionPlan::build(&ds, &part));
+            let peak = |p: f64| -> u64 {
+                let run = train_with_plan(&plan, &mem_cfg(p));
+                *run.peak_mem_per_rank.iter().max().unwrap()
+            };
+            let m1 = peak(1.0);
+            let m01 = peak(0.1);
+            let m001 = peak(0.01);
+            rows.push(vec![
+                k.to_string(),
+                format!("{:.1}MB", m1 as f64 / 1e6),
+                pct(1.0 - m01 as f64 / m1 as f64),
+                pct(1.0 - m001 as f64 / m1 as f64),
+            ]);
+        }
+        print_table(
+            &format!("Figure 6: peak-memory reduction vs p=1, {name}"),
+            &["#partitions", "mem @ p=1", "saving @ p=0.1", "saving @ p=0.01"],
+            &rows,
+        );
+    }
+}
+
+/// Paper Figure 8: distribution of normalized per-partition memory at
+/// 192 partitions of papers100m-sim, per sampling rate. Normalization
+/// is against the heaviest partition at the same `p`.
+pub fn fig8(scale: Scale) {
+    let ds = crate::papers(scale);
+    let k = 192;
+    let part = MetisLikePartitioner::default().partition(&ds.graph, k, 0);
+    let plan = Arc::new(PartitionPlan::build(&ds, &part));
+    let mut rows = Vec::new();
+    for p in [1.0, 0.1, 0.01] {
+        let run = train_with_plan(&plan, &mem_cfg(p));
+        let max = *run.peak_mem_per_rank.iter().max().unwrap() as f64;
+        let mut norm: Vec<f64> = run
+            .peak_mem_per_rank
+            .iter()
+            .map(|&m| m as f64 / max)
+            .collect();
+        norm.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = |f: f64| norm[((f * (k - 1) as f64) as usize).min(k - 1)];
+        rows.push(vec![
+            format!("p={p}"),
+            pct(q(0.0)),
+            pct(q(0.25)),
+            pct(q(0.5)),
+            pct(q(0.75)),
+            pct(q(1.0)),
+        ]);
+    }
+    print_table(
+        &format!("Figure 8: normalized per-partition memory, papers100m-sim, {k} partitions"),
+        &["sampling", "min", "q1", "median", "q3", "max"],
+        &rows,
+    );
+    println!("(higher min/q1 at small p = better balanced memory, paper Fig. 8)");
+}

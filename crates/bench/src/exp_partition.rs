@@ -1,0 +1,126 @@
+//! Partition-structure experiments: Table 1 (boundary vs inner nodes),
+//! Figure 3 (boundary/inner ratio distribution at 192 partitions) and
+//! the boundary-count column of Table 8.
+
+use crate::{f2, print_table, Scale};
+use bns_partition::{
+    metrics, MetisLikePartitioner, Partitioner, Partitioning, RandomPartitioner,
+};
+
+/// Paper Table 1: inner / boundary node counts and their ratio for a
+/// 10-way METIS-like partition of reddit-sim.
+pub fn table1(scale: Scale) {
+    let ds = crate::reddit(scale);
+    let part = MetisLikePartitioner::default().partition(&ds.graph, 10, 0);
+    let report = metrics::PartitionReport::of(&ds.graph, &part);
+    let mut rows = Vec::new();
+    rows.push(
+        std::iter::once("# Inner Nodes".to_string())
+            .chain(report.inner.iter().map(|x| format!("{:.1}k", *x as f64 / 1e3)))
+            .collect(),
+    );
+    rows.push(
+        std::iter::once("# Boundary Nodes".to_string())
+            .chain(
+                report
+                    .boundary
+                    .iter()
+                    .map(|x| format!("{:.1}k", *x as f64 / 1e3)),
+            )
+            .collect(),
+    );
+    rows.push(
+        std::iter::once("Boundary/Inner".to_string())
+            .chain(report.ratio.iter().map(|r| f2(*r)))
+            .collect(),
+    );
+    let mut header = vec!["Partition".to_string()];
+    header.extend((1..=10).map(|i| i.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(
+        "Table 1: boundary vs inner nodes, reddit-sim, METIS-like, 10 partitions",
+        &header_refs,
+        &rows,
+    );
+    println!(
+        "total comm volume (Eq. 3) = {} boundary nodes; edge cut = {}; imbalance = {:.3}",
+        report.comm_volume, report.edge_cut, report.imbalance
+    );
+    // For comparison, the random-partition boundary explosion.
+    let rnd = RandomPartitioner.partition(&ds.graph, 10, 0);
+    let rnd_vol = metrics::comm_volume(&ds.graph, &rnd);
+    println!(
+        "random partition comm volume = {rnd_vol} ({}x the METIS-like volume)",
+        f2(rnd_vol as f64 / report.comm_volume.max(1) as f64)
+    );
+}
+
+/// Paper Figure 3: distribution of boundary/inner ratios across 192
+/// partitions of papers100m-sim.
+pub fn fig3(scale: Scale) {
+    let ds = crate::papers(scale);
+    let k = 192;
+    let part = MetisLikePartitioner::default().partition(&ds.graph, k, 0);
+    let report = metrics::PartitionReport::of(&ds.graph, &part);
+    // Histogram of ratios, bucket width 1.
+    let max_ratio = report.ratio.iter().cloned().fold(0.0f64, f64::max);
+    let buckets = (max_ratio.ceil() as usize + 1).max(1);
+    let mut hist = vec![0usize; buckets];
+    for &r in &report.ratio {
+        hist[(r.floor() as usize).min(buckets - 1)] += 1;
+    }
+    let rows: Vec<Vec<String>> = hist
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(b, &c)| {
+            vec![
+                format!("[{b}, {})", b + 1),
+                c.to_string(),
+                "#".repeat(c * 60 / k),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 3: boundary/inner ratio distribution, papers100m-sim, {k} partitions"),
+        &["ratio bucket", "#partitions", ""],
+        &rows,
+    );
+    let mean = report.ratio.iter().sum::<f64>() / k as f64;
+    println!(
+        "ratio mean = {:.2}, max (straggler) = {:.2} -> straggler/mean = {:.2}",
+        mean,
+        max_ratio,
+        max_ratio / mean
+    );
+}
+
+/// The partition-quality half of Table 8: boundary-node counts under
+/// METIS-like vs random partitioning on all three datasets.
+pub fn table8_partitions(scale: Scale) -> Vec<(String, Partitioning, Partitioning)> {
+    let sets = [
+        ("reddit-sim", crate::reddit(scale), 8usize),
+        ("products-sim", crate::products(scale), 10),
+        ("yelp-sim", crate::yelp(scale), 10),
+    ];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (name, ds, k) in sets {
+        let metis = MetisLikePartitioner::default().partition(&ds.graph, k, 0);
+        let random = RandomPartitioner.partition(&ds.graph, k, 0);
+        let bm = bns_partition::metrics::comm_volume(&ds.graph, &metis);
+        let br = bns_partition::metrics::comm_volume(&ds.graph, &random);
+        rows.push(vec![
+            format!("{name} ({k} partitions)"),
+            format!("{:.0}k", bm as f64 / 1e3),
+            format!("{:.0}k", br as f64 / 1e3),
+        ]);
+        out.push((name.to_string(), metis, random));
+    }
+    print_table(
+        "Table 8 (structure): # boundary nodes, METIS-like vs random",
+        &["dataset", "METIS", "Random"],
+        &rows,
+    );
+    out
+}

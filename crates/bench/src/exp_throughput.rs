@@ -1,0 +1,242 @@
+//! Throughput and time-breakdown experiments: Figure 4 (throughput vs
+//! #partitions against ROC-sim / CAGNET-sim), Figure 5 (epoch time
+//! breakdown), Table 6 (papers100M breakdown at 192 partitions) and
+//! Table 12 (sampling overhead).
+
+use crate::{f2, pct, print_table, Scale};
+use bns_comm::CostModel;
+use bns_data::Dataset;
+use bns_gcn::costsim::{cagnet_epoch_time, roc_epoch_time, LayerWorkload};
+use bns_gcn::engine::{train_with_plan, ModelArch, TrainConfig, TrainRun};
+use bns_gcn::plan::PartitionPlan;
+use bns_gcn::sampling::BoundarySampling;
+use bns_partition::{MetisLikePartitioner, Partitioner};
+use std::sync::Arc;
+
+/// Hidden dims used by the timing experiments at each scale (full scale
+/// uses the paper's model sizes).
+fn hidden(scale: Scale, paper: &[usize]) -> Vec<usize> {
+    match scale {
+        Scale::Small => vec![64; paper.len()],
+        Scale::Full => paper.to_vec(),
+    }
+}
+
+fn timing_cfg(scale: Scale, paper_hidden: &[usize], sampling: BoundarySampling) -> TrainConfig {
+    TrainConfig {
+        arch: ModelArch::Sage,
+        hidden: hidden(scale, paper_hidden),
+        dropout: 0.0,
+        lr: 0.01,
+        epochs: scale.epochs(4, 8),
+        sampling,
+        eval_every: 0,
+        seed: 1,
+        clip_norm: None,
+        pipeline: false,
+    }
+}
+
+/// Builds the per-layer workloads for the analytic ROC/CAGNET models
+/// from a real partition plan, projected to paper-dataset size with the
+/// same workload scale used for the BNS timings.
+fn workloads(ds: &Dataset, plan: &PartitionPlan, dims: &[usize]) -> Vec<LayerWorkload> {
+    let s = crate::wscale(ds);
+    let max_boundary = plan
+        .parts
+        .iter()
+        .map(|p| p.n_boundary())
+        .max()
+        .unwrap_or(0);
+    dims[..dims.len() - 1]
+        .iter()
+        .map(|&d| LayerWorkload {
+            n: (ds.num_nodes() as f64 * s) as usize,
+            k: plan.k,
+            d,
+            max_boundary: (max_boundary as f64 * s) as usize,
+            edges: (ds.graph.num_edges() as f64 * s) as usize,
+        })
+        .collect()
+}
+
+fn run_for(plan: &Arc<PartitionPlan>, cfg: &TrainConfig) -> TrainRun {
+    train_with_plan(plan, cfg)
+}
+
+/// Paper Figure 4: training throughput (epochs/s under the PCIe cost
+/// model) of BNS-GCN at p ∈ {1, 0.1, 0.01} vs ROC-sim and CAGNET-sim
+/// (c=2), across partition counts.
+pub fn fig4(scale: Scale) {
+    let cost = CostModel::pcie3();
+    let swap = CostModel::swap_link();
+    let sets: Vec<(&str, Arc<Dataset>, Vec<usize>, &[usize])> = vec![
+        ("reddit-sim", crate::reddit(scale), vec![2, 4, 8], &[256, 256, 256]),
+        ("products-sim", crate::products(scale), vec![5, 8, 10], &[128, 128]),
+        ("yelp-sim", crate::yelp(scale), vec![3, 6, 10], &[256, 256, 256]),
+    ];
+    for (name, ds, ks, paper_hidden) in sets {
+        let mut rows = Vec::new();
+        for &k in &ks {
+            let part = MetisLikePartitioner::default().partition(&ds.graph, k, 0);
+            let plan = Arc::new(PartitionPlan::build(&ds, &part));
+            let mut cells = vec![k.to_string()];
+            let mut dims = vec![ds.feat_dim()];
+            dims.extend_from_slice(&hidden(scale, paper_hidden));
+            dims.push(ds.num_classes);
+            for p in [1.0, 0.1, 0.01] {
+                let cfg = timing_cfg(scale, paper_hidden, BoundarySampling::Bns { p });
+                let run = run_for(&plan, &cfg);
+                let t = run.avg_sim_epoch_scaled(&cost, crate::wscale(&ds)).total();
+                cells.push(f2(1.0 / t));
+            }
+            let w = workloads(&ds, &plan, &dims);
+            cells.push(f2(1.0 / roc_epoch_time(&w, &cost, &swap)));
+            cells.push(f2(1.0 / cagnet_epoch_time(&w, 2, &cost)));
+            rows.push(cells);
+        }
+        print_table(
+            &format!("Figure 4: throughput (epochs/s, simulated) on {name}"),
+            &[
+                "#partitions",
+                "BNS p=1",
+                "BNS p=0.1",
+                "BNS p=0.01",
+                "ROC-sim",
+                "CAGNET-sim(c=2)",
+            ],
+            &rows,
+        );
+    }
+}
+
+/// Paper Figure 5: per-epoch time breakdown (compute / boundary comm /
+/// all-reduce, simulated) for reddit-sim and products-sim across
+/// partition counts and sampling rates.
+pub fn fig5(scale: Scale) {
+    let cost = CostModel::pcie3();
+    let sets: Vec<(&str, Arc<Dataset>, Vec<usize>, &[usize])> = vec![
+        ("reddit-sim", crate::reddit(scale), vec![2, 4, 8], &[256, 256, 256]),
+        ("products-sim", crate::products(scale), vec![5, 10], &[128, 128]),
+    ];
+    for (name, ds, ks, paper_hidden) in sets {
+        let mut rows = Vec::new();
+        for &k in &ks {
+            let part = MetisLikePartitioner::default().partition(&ds.graph, k, 0);
+            let plan = Arc::new(PartitionPlan::build(&ds, &part));
+            for p in [1.0, 0.1, 0.01] {
+                let cfg = timing_cfg(scale, paper_hidden, BoundarySampling::Bns { p });
+                let run = run_for(&plan, &cfg);
+                let sim = run.avg_sim_epoch_scaled(&cost, crate::wscale(&ds));
+                rows.push(vec![
+                    k.to_string(),
+                    format!("{p}"),
+                    format!("{:.2}ms", sim.comp * 1e3),
+                    format!("{:.2}ms", sim.comm * 1e3),
+                    format!("{:.2}ms", sim.reduce * 1e3),
+                    format!("{:.2}ms", sim.total() * 1e3),
+                    pct(sim.comm / sim.total().max(1e-12)),
+                ]);
+            }
+        }
+        print_table(
+            &format!("Figure 5: simulated epoch-time breakdown on {name}"),
+            &[
+                "#partitions",
+                "p",
+                "compute",
+                "boundary comm",
+                "all-reduce",
+                "total",
+                "comm share",
+            ],
+            &rows,
+        );
+    }
+}
+
+/// Paper Table 6: epoch time breakdown for papers100m-sim at 192
+/// partitions on the multi-machine (Ethernet-class) cost model.
+pub fn table6(scale: Scale) {
+    let cost = CostModel::cluster_ethernet();
+    let ds = crate::papers(scale);
+    let k = 192;
+    let part = MetisLikePartitioner::default().partition(&ds.graph, k, 0);
+    let plan = Arc::new(PartitionPlan::build(&ds, &part));
+    let mut rows = Vec::new();
+    for p in [1.0, 0.1, 0.01] {
+        let cfg = TrainConfig {
+            arch: ModelArch::Sage,
+            hidden: hidden(scale, &[128, 128]),
+            dropout: 0.0,
+            lr: 0.01,
+            epochs: 2,
+            sampling: BoundarySampling::Bns { p },
+            eval_every: 0,
+            seed: 1,
+            clip_norm: None,
+            pipeline: false,
+        };
+        let run = run_for(&plan, &cfg);
+        let sim = run.avg_sim_epoch_scaled(&cost, crate::wscale(&ds));
+        rows.push(vec![
+            format!("BNS-GCN (p={p})"),
+            format!("{:.3}s", sim.total()),
+            format!("{:.3}s", sim.comp),
+            format!("{:.3}s", sim.comm),
+            format!("{:.3}s", sim.reduce),
+        ]);
+    }
+    print_table(
+        &format!("Table 6: simulated epoch breakdown, papers100m-sim, {k} partitions"),
+        &["method", "total", "comp", "comm", "reduce"],
+        &rows,
+    );
+}
+
+/// Paper Table 12: boundary-node-sampling overhead (% of epoch time)
+/// for BNS-GCN vs the GraphSAINT samplers' measured overhead.
+pub fn table12(scale: Scale) {
+    use bns_gcn::minibatch::{train_minibatch, MiniBatchConfig, MiniBatchMethod};
+    let ds = crate::reddit(scale);
+    let mut rows = Vec::new();
+    for (method, label) in [
+        (MiniBatchMethod::GraphSaintNode { nodes: 800 }, "Node sampler (GraphSAINT)"),
+        (MiniBatchMethod::GraphSaintEdge { edges: 800 }, "Edge sampler (GraphSAINT)"),
+        (
+            MiniBatchMethod::GraphSaintWalk { roots: 150, length: 4 },
+            "Random-walk sampler (GraphSAINT)",
+        ),
+    ] {
+        let cfg = MiniBatchConfig {
+            hidden: vec![64],
+            dropout: 0.0,
+            lr: 0.01,
+            epochs: 2,
+            batch_size: 256,
+            seed: 1,
+        };
+        let run = train_minibatch(&ds, method, &cfg);
+        rows.push(vec![label.to_string(), "-".into(), pct(run.sampling_frac)]);
+    }
+    for k in [2usize, 4, 8] {
+        let part = MetisLikePartitioner::default().partition(&ds.graph, k, 0);
+        let plan = Arc::new(PartitionPlan::build(&ds, &part));
+        for p in [1.0, 0.1, 0.01, 0.0] {
+            let cfg = timing_cfg(scale, &[256, 256, 256], BoundarySampling::Bns { p });
+            let run = run_for(&plan, &cfg);
+            let sample: f64 = run.epochs.iter().map(|e| e.sample_s).sum();
+            let total: f64 = run.epochs.iter().map(|e| e.total_s()).sum();
+            rows.push(vec![
+                format!("BNS sampler p={p}"),
+                k.to_string(),
+                pct(sample / total.max(1e-12)),
+            ]);
+        }
+    }
+    print_table(
+        "Table 12: sampling overhead (sampling time / epoch time), reddit-sim",
+        &["sampler", "#partitions", "overhead"],
+        &rows,
+    );
+}

@@ -1,0 +1,53 @@
+//! Table 2: empirical feature-approximation variance of BNS-GCN vs the
+//! sampling families, at an equal sampled-support budget.
+
+use crate::{print_table, Scale};
+use bns_gcn::plan::PartitionPlan;
+use bns_gcn::variance::{measure_variance, VarianceMethod};
+use bns_partition::{MetisLikePartitioner, Partitioner};
+use bns_tensor::{Matrix, SeededRng};
+
+/// Paper Table 2 (empirical form): mean squared error of the one-layer
+/// aggregate under each method, same support budget, on a METIS-like
+/// partition of reddit-sim.
+pub fn table2(scale: Scale) {
+    let ds = crate::reddit(scale);
+    let k = 8;
+    let part = MetisLikePartitioner::default().partition(&ds.graph, k, 0);
+    let plan = PartitionPlan::build(&ds, &part);
+    let lp = &plan.parts[0];
+    let mut rng = SeededRng::new(3);
+    let h = Matrix::random_normal(lp.n_inner() + lp.n_boundary(), 16, 0.0, 1.0, &mut rng);
+    let trials = match scale {
+        Scale::Small => 60,
+        Scale::Full => 200,
+    };
+    let mut rows = Vec::new();
+    for p in [0.1, 0.3] {
+        for m in [
+            VarianceMethod::Bns,
+            VarianceMethod::LadiesStyle,
+            VarianceMethod::FastGcnStyle,
+            VarianceMethod::SageStyle,
+        ] {
+            let r = measure_variance(lp, ds.num_nodes(), &h, m, p, trials, &mut rng);
+            rows.push(vec![
+                format!("p={p}"),
+                r.method.name().to_string(),
+                format!("{:.4}", r.mean_sq_error),
+                format!("{:.0}", r.support_size),
+            ]);
+        }
+    }
+    print_table(
+        &format!(
+            "Table 2: empirical approximation variance, reddit-sim partition 0 of {k} \
+             (n_in={}, n_bd={})",
+            lp.n_inner(),
+            lp.n_boundary()
+        ),
+        &["budget", "method", "E||Z~-Z||^2 / n", "support"],
+        &rows,
+    );
+    println!("(paper bound ordering: BNS < LADIES < FastGCN at equal budget)");
+}

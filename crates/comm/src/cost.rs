@@ -1,0 +1,136 @@
+//! The α–β communication / compute cost model.
+
+use crate::{TrafficClass, TrafficStats};
+
+/// Converts traffic counters and FLOP counts into simulated seconds.
+///
+/// The model is the classic α–β (latency–bandwidth) form: a step that
+/// sends `m` messages totalling `b` bytes costs `m·α + b·β` seconds, and
+/// `f` floating-point operations cost `f / flops` seconds. Experiments use
+/// this to report deterministic, hardware-independent timings whose
+/// *shape* (which method wins, how gaps scale) mirrors the paper even
+/// though the absolute numbers are synthetic.
+///
+/// Defaults approximate the paper's single-machine testbed: PCIe-3 x16
+/// class links (~12 GB/s effective, ~10 µs latency) and an
+/// RTX-2080-Ti-class ~13 TFLOP/s device.
+///
+/// # Example
+///
+/// ```
+/// use bns_comm::CostModel;
+///
+/// let m = CostModel::pcie3();
+/// let t = m.comm_time(12_000_000_000, 1);
+/// assert!((t - 1.0).abs() < 0.01); // ~1 s to move 12 GB
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-message latency, seconds.
+    pub latency_s: f64,
+    /// Link bandwidth, bytes per second.
+    pub bandwidth_bps: f64,
+    /// Compute throughput, FLOP per second.
+    pub flops: f64,
+}
+
+impl CostModel {
+    /// PCIe-3 x16 class GPU-to-GPU link plus a 2080-Ti-class device — the
+    /// paper's single-machine setup (Reddit/products/Yelp experiments).
+    pub fn pcie3() -> Self {
+        Self {
+            latency_s: 10e-6,
+            bandwidth_bps: 12e9,
+            flops: 13e12,
+        }
+    }
+
+    /// Cross-machine Ethernet-class interconnect plus a V100-class device
+    /// — the paper's 32-machine ogbn-papers100M setup, where communication
+    /// dominates (its Table 6 shows 99% comm time).
+    pub fn cluster_ethernet() -> Self {
+        Self {
+            latency_s: 50e-6,
+            bandwidth_bps: 1.25e9, // ~10 GbE effective
+            flops: 15e12,
+        }
+    }
+
+    /// Host-to-device swap link for the ROC-style baseline (CPU↔GPU paging
+    /// over PCIe shared with other traffic).
+    pub fn swap_link() -> Self {
+        Self {
+            latency_s: 20e-6,
+            bandwidth_bps: 6e9,
+            flops: 13e12,
+        }
+    }
+
+    /// Seconds to send `messages` messages totalling `bytes` bytes.
+    pub fn comm_time(&self, bytes: u64, messages: u64) -> f64 {
+        messages as f64 * self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+
+    /// Seconds to execute `flops` floating-point operations.
+    pub fn compute_time(&self, flop: f64) -> f64 {
+        flop / self.flops
+    }
+
+    /// Simulated time of one synchronous step in which each rank sent the
+    /// traffic recorded in its entry of `per_rank`: the slowest rank
+    /// (bottleneck) determines the step time, matching the paper's
+    /// observation that partition-parallel training is synchronous and
+    /// straggler-bound.
+    pub fn step_time(&self, per_rank: &[TrafficStats]) -> f64 {
+        per_rank
+            .iter()
+            .map(|t| self.comm_time(t.total_bytes(), t.total_messages()))
+            .fold(0.0, f64::max)
+    }
+
+    /// Like [`CostModel::step_time`] but restricted to one traffic class.
+    pub fn step_time_class(&self, per_rank: &[TrafficStats], class: TrafficClass) -> f64 {
+        per_rank
+            .iter()
+            .map(|t| self.comm_time(t.bytes(class), t.messages(class)))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_time_linear_in_bytes() {
+        let m = CostModel {
+            latency_s: 1e-3,
+            bandwidth_bps: 1e6,
+            flops: 1e9,
+        };
+        assert!((m.comm_time(1_000_000, 0) - 1.0).abs() < 1e-12);
+        assert!((m.comm_time(0, 10) - 0.01).abs() < 1e-12);
+        assert!((m.compute_time(2e9) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_time_is_bottleneck() {
+        let m = CostModel {
+            latency_s: 0.0,
+            bandwidth_bps: 1e3,
+            flops: 1.0,
+        };
+        let mut a = TrafficStats::new();
+        a.record(TrafficClass::Boundary, 1000);
+        let mut b = TrafficStats::new();
+        b.record(TrafficClass::Boundary, 3000);
+        assert!((m.step_time(&[a.clone(), b.clone()]) - 3.0).abs() < 1e-9);
+        assert!((m.step_time_class(&[a, b], TrafficClass::AllReduce)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        assert!(CostModel::pcie3().bandwidth_bps > CostModel::cluster_ethernet().bandwidth_bps);
+        assert!(CostModel::swap_link().bandwidth_bps < CostModel::pcie3().bandwidth_bps);
+    }
+}

@@ -1,0 +1,525 @@
+//! Per-rank communication handles, point-to-point messaging and
+//! collectives.
+
+use crate::{TrafficClass, TrafficStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Anything that can be sent between ranks with a well-defined wire size.
+///
+/// The wire size drives [`TrafficStats`]; it is the number of bytes the
+/// payload would occupy on a real interconnect.
+pub trait Wire: Send + 'static {
+    /// Serialized size in bytes.
+    fn wire_bytes(&self) -> usize;
+}
+
+impl<T: Copy + Send + 'static> Wire for Vec<T> {
+    fn wire_bytes(&self) -> usize {
+        std::mem::size_of::<T>() * self.len()
+    }
+}
+
+struct Message {
+    tag: u64,
+    payload: Box<dyn Any + Send>,
+    bytes: usize,
+}
+
+/// One rank's endpoint in a simulated world of `world_size` ranks.
+///
+/// Create a full world with [`create_world`] or spawn threads directly
+/// with [`run_ranks`]. Point-to-point messages are matched by `(source,
+/// tag)`; collectives must be invoked by **all ranks in the same order**
+/// (they synchronize internally via sequence-numbered tags).
+pub struct RankComm {
+    rank: usize,
+    world: usize,
+    to_peer: Vec<Option<Sender<Message>>>,
+    from_peer: Vec<Option<Receiver<Message>>>,
+    pending: Vec<VecDeque<Message>>,
+    stats: TrafficStats,
+    coll_seq: u64,
+}
+
+impl std::fmt::Debug for RankComm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RankComm {{ rank: {}/{} }}", self.rank, self.world)
+    }
+}
+
+/// Creates all `world_size` communication endpoints.
+///
+/// # Panics
+///
+/// Panics if `world_size == 0`.
+pub fn create_world(world_size: usize) -> Vec<RankComm> {
+    assert!(world_size > 0, "world_size must be positive");
+    // channels[i][j] carries i -> j.
+    let mut senders: Vec<Vec<Option<Sender<Message>>>> = (0..world_size)
+        .map(|_| (0..world_size).map(|_| None).collect())
+        .collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Message>>>> = (0..world_size)
+        .map(|_| (0..world_size).map(|_| None).collect())
+        .collect();
+    for i in 0..world_size {
+        for j in 0..world_size {
+            if i == j {
+                continue;
+            }
+            let (s, r) = unbounded();
+            senders[i][j] = Some(s);
+            // Rank j's receiver slot indexed by source i.
+            receivers[j][i] = Some(r);
+        }
+    }
+    senders
+        .into_iter()
+        .zip(receivers)
+        .enumerate()
+        .map(|(rank, (to_peer, from_peer))| RankComm {
+            rank,
+            world: world_size,
+            to_peer,
+            from_peer,
+            pending: (0..world_size).map(|_| VecDeque::new()).collect(),
+            stats: TrafficStats::new(),
+            coll_seq: 0,
+        })
+        .collect()
+}
+
+/// Spawns one thread per rank, runs `f` on each, and returns the results
+/// in rank order. Panics in any rank propagate.
+pub fn run_ranks<T, F>(world_size: usize, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(RankComm) -> T + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let comms = create_world(world_size);
+    let handles: Vec<_> = comms
+        .into_iter()
+        .map(|comm| {
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || f(comm))
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("rank thread panicked"))
+        .collect()
+}
+
+impl RankComm {
+    /// This endpoint's rank id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// Traffic sent by this rank so far.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Mutable access to the traffic counters (to reset between epochs).
+    pub fn stats_mut(&mut self) -> &mut TrafficStats {
+        &mut self.stats
+    }
+
+    /// Sends `payload` to rank `to` with a user tag.
+    ///
+    /// User tags must be below `2^60`; higher tags are reserved for
+    /// collectives.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-send, out-of-bounds rank, reserved tag, or if the
+    /// peer has disconnected.
+    pub fn send<T: Wire>(&mut self, to: usize, tag: u64, payload: T, class: TrafficClass) {
+        assert!(tag < COLL_BASE, "tag {tag} is reserved for collectives");
+        self.send_raw(to, tag, payload, class)
+    }
+
+    fn send_raw<T: Wire>(&mut self, to: usize, tag: u64, payload: T, class: TrafficClass) {
+        assert!(to < self.world, "send to rank {to} out of bounds");
+        assert_ne!(to, self.rank, "self-send is not allowed");
+        let bytes = payload.wire_bytes();
+        self.stats.record(class, bytes);
+        let msg = Message {
+            tag,
+            payload: Box::new(payload),
+            bytes,
+        };
+        self.to_peer[to]
+            .as_ref()
+            .expect("sender missing")
+            .send(msg)
+            .expect("peer disconnected");
+    }
+
+    /// Receives the next message from rank `from` with tag `tag`,
+    /// blocking until it arrives. Messages with other tags from the same
+    /// peer are buffered.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-receive, out-of-bounds rank, payload type mismatch,
+    /// or if the peer disconnected before sending.
+    pub fn recv<T: Wire>(&mut self, from: usize, tag: u64) -> T {
+        let msg = self.recv_msg(from, tag);
+        *msg.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving tag {tag} from {from}",
+                self.rank
+            )
+        })
+    }
+
+    /// Like [`RankComm::recv`] but also returns the wire size in bytes.
+    pub fn recv_with_bytes<T: Wire>(&mut self, from: usize, tag: u64) -> (T, usize) {
+        let msg = self.recv_msg(from, tag);
+        let bytes = msg.bytes;
+        let v = *msg.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving tag {tag} from {from}",
+                self.rank
+            )
+        });
+        (v, bytes)
+    }
+
+    fn recv_msg(&mut self, from: usize, tag: u64) -> Message {
+        assert!(from < self.world, "recv from rank {from} out of bounds");
+        assert_ne!(from, self.rank, "self-receive is not allowed");
+        if let Some(pos) = self.pending[from].iter().position(|m| m.tag == tag) {
+            return self.pending[from].remove(pos).unwrap();
+        }
+        let rx = self.from_peer[from].as_ref().expect("receiver missing");
+        loop {
+            let msg = rx.recv().expect("peer disconnected");
+            if msg.tag == tag {
+                return msg;
+            }
+            self.pending[from].push_back(msg);
+        }
+    }
+
+    fn next_coll_tag(&mut self, step: u64) -> u64 {
+        COLL_BASE + self.coll_seq * MAX_COLL_STEPS + step
+    }
+
+    fn finish_collective(&mut self) {
+        self.coll_seq += 1;
+    }
+
+    /// Ring AllReduce (sum) over an `f32` buffer: reduce-scatter followed
+    /// by all-gather. Every rank must pass a buffer of the same length.
+    /// Per-rank traffic is `2·(k-1)/k · len · 4` bytes, the standard ring
+    /// cost the paper assumes for gradient sharing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths disagree across ranks (detected as a
+    /// chunk-size mismatch) or ranks call collectives in different orders.
+    pub fn all_reduce_sum(&mut self, buf: &mut [f32]) {
+        let k = self.world;
+        if k == 1 || buf.is_empty() {
+            self.finish_collective();
+            return;
+        }
+        let r = self.rank;
+        let next = (r + 1) % k;
+        let prev = (r + k - 1) % k;
+        let len = buf.len();
+        let chunk_range = move |c: usize| {
+            let start = c * len / k;
+            let end = (c + 1) * len / k;
+            start..end
+        };
+        // Reduce-scatter: after k-1 steps rank r fully owns chunk (r+1)%k.
+        for s in 0..k - 1 {
+            let send_c = (r + k - s) % k;
+            let recv_c = (r + k - s - 1) % k;
+            let tag = self.next_coll_tag(s as u64);
+            let out: Vec<f32> = buf[chunk_range(send_c)].to_vec();
+            self.send_raw(next, tag, out, TrafficClass::AllReduce);
+            let inc: Vec<f32> = self.recv(prev, tag);
+            let range = chunk_range(recv_c);
+            assert_eq!(inc.len(), range.len(), "all_reduce_sum length mismatch");
+            for (d, s) in buf[range].iter_mut().zip(&inc) {
+                *d += s;
+            }
+        }
+        // All-gather the reduced chunks.
+        for s in 0..k - 1 {
+            let send_c = (r + 1 + k - s) % k;
+            let recv_c = (r + k - s) % k;
+            let tag = self.next_coll_tag((k - 1 + s) as u64);
+            let out: Vec<f32> = buf[chunk_range(send_c)].to_vec();
+            self.send_raw(next, tag, out, TrafficClass::AllReduce);
+            let inc: Vec<f32> = self.recv(prev, tag);
+            let range = chunk_range(recv_c);
+            assert_eq!(inc.len(), range.len(), "all_reduce_sum length mismatch");
+            buf[range].copy_from_slice(&inc);
+        }
+        self.finish_collective();
+    }
+
+    /// Gathers one value from every rank; returns them indexed by rank.
+    pub fn all_gather<T: Wire + Clone>(&mut self, value: T, class: TrafficClass) -> Vec<T> {
+        let k = self.world;
+        let tag = self.next_coll_tag(0);
+        for peer in 0..k {
+            if peer != self.rank {
+                self.send_raw(peer, tag, value.clone(), class);
+            }
+        }
+        let mut out: Vec<Option<T>> = (0..k).map(|_| None).collect();
+        out[self.rank] = Some(value);
+        for peer in 0..k {
+            if peer != self.rank {
+                out[peer] = Some(self.recv(peer, tag));
+            }
+        }
+        self.finish_collective();
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// All-to-all personalized exchange: `outbox[j]` is delivered to
+    /// rank `j`; returns the inbox indexed by source rank (own slot =
+    /// own outbox entry, moved, never counted as traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outbox.len() != world_size`.
+    pub fn all_to_all<T: Wire + Default>(
+        &mut self,
+        mut outbox: Vec<T>,
+        class: TrafficClass,
+    ) -> Vec<T> {
+        assert_eq!(outbox.len(), self.world, "outbox must have one entry per rank");
+        let tag = self.next_coll_tag(0);
+        let me = self.rank;
+        // Send everything first (channels are unbounded, so no deadlock).
+        let mut own: Option<T> = None;
+        for (j, item) in outbox.drain(..).enumerate() {
+            if j == me {
+                own = Some(item);
+            } else {
+                self.send_raw(j, tag, item, class);
+            }
+        }
+        let mut inbox: Vec<T> = (0..self.world).map(|_| T::default()).collect();
+        inbox[me] = own.expect("own outbox entry present");
+        for j in 0..self.world {
+            if j != me {
+                inbox[j] = self.recv(j, tag);
+            }
+        }
+        self.finish_collective();
+        inbox
+    }
+
+    /// Broadcast from `root`: the root passes `Some(value)`, everyone else
+    /// `None`; all ranks return the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root passes `None` or a non-root passes `Some`.
+    pub fn broadcast<T: Wire + Clone>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+        class: TrafficClass,
+    ) -> T {
+        let tag = self.next_coll_tag(0);
+        let out = if self.rank == root {
+            let v = value.expect("root must supply a value");
+            for peer in 0..self.world {
+                if peer != root {
+                    self.send_raw(peer, tag, v.clone(), class);
+                }
+            }
+            v
+        } else {
+            assert!(value.is_none(), "non-root rank must pass None");
+            self.recv(root, tag)
+        };
+        self.finish_collective();
+        out
+    }
+
+    /// Blocks until every rank has reached the barrier.
+    pub fn barrier(&mut self) {
+        let _ = self.all_gather(Vec::<u8>::new(), TrafficClass::Control);
+    }
+}
+
+const COLL_BASE: u64 = 1 << 60;
+const MAX_COLL_STEPS: u64 = 1 << 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let out = run_ranks(2, |mut c| {
+            let peer = 1 - c.rank();
+            c.send(peer, 1, vec![c.rank() as u32 * 10], TrafficClass::Control);
+            let got: Vec<u32> = c.recv(peer, 1);
+            got[0]
+        });
+        assert_eq!(out, vec![10, 0]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = run_ranks(2, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 5, vec![5.0f32], TrafficClass::Control);
+                c.send(1, 6, vec![6.0f32], TrafficClass::Control);
+                0.0
+            } else {
+                // Receive in reverse order of sending.
+                let b: Vec<f32> = c.recv(0, 6);
+                let a: Vec<f32> = c.recv(0, 5);
+                a[0] * 10.0 + b[0]
+            }
+        });
+        assert_eq!(out[1], 56.0);
+    }
+
+    #[test]
+    fn all_reduce_sum_is_correct_for_various_world_sizes() {
+        for k in [1usize, 2, 3, 4, 7] {
+            for len in [0usize, 1, 5, 16, 33] {
+                let out = run_ranks(k, move |mut c| {
+                    let mut buf: Vec<f32> =
+                        (0..len).map(|i| (c.rank() + 1) as f32 * (i + 1) as f32).collect();
+                    c.all_reduce_sum(&mut buf);
+                    buf
+                });
+                let total_rank: f32 = (1..=k).map(|r| r as f32).sum();
+                for buf in &out {
+                    for (i, &x) in buf.iter().enumerate() {
+                        let expect = total_rank * (i + 1) as f32;
+                        assert!(
+                            (x - expect).abs() < 1e-4,
+                            "k={k} len={len} i={i}: {x} != {expect}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_ring_traffic_volume() {
+        let k = 4usize;
+        let len = 1024usize;
+        let out = run_ranks(k, move |mut c| {
+            let mut buf = vec![1.0f32; len];
+            c.all_reduce_sum(&mut buf);
+            c.stats().bytes(TrafficClass::AllReduce)
+        });
+        // Ring: each rank sends 2*(k-1) chunks of len/k floats.
+        let expect = (2 * (k - 1) * (len / k) * 4) as u64;
+        for &b in &out {
+            assert_eq!(b, expect);
+        }
+    }
+
+    #[test]
+    fn all_gather_collects_in_rank_order() {
+        let out = run_ranks(3, |mut c| {
+            c.all_gather(vec![c.rank() as u64], TrafficClass::Control)
+        });
+        for got in out {
+            assert_eq!(got, vec![vec![0], vec![1], vec![2]]);
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_root_value() {
+        let out = run_ranks(4, |mut c| {
+            let v = if c.rank() == 2 {
+                Some(vec![42.0f32])
+            } else {
+                None
+            };
+            c.broadcast(2, v, TrafficClass::Control)[0]
+        });
+        assert_eq!(out, vec![42.0; 4]);
+    }
+
+    #[test]
+    fn collectives_compose_in_sequence() {
+        let out = run_ranks(3, |mut c| {
+            let mut a = vec![c.rank() as f32];
+            c.all_reduce_sum(&mut a);
+            c.barrier();
+            let g = c.all_gather(vec![a[0] as u64], TrafficClass::Control);
+            g.iter().map(|v| v[0]).sum::<u64>()
+        });
+        assert_eq!(out, vec![9, 9, 9]); // 0+1+2 = 3, gathered thrice
+    }
+
+    #[test]
+    fn all_to_all_delivers_personalized_payloads() {
+        let k = 4;
+        let out = run_ranks(k, move |mut c| {
+            let me = c.rank();
+            let outbox: Vec<Vec<u32>> =
+                (0..k).map(|j| vec![(me * 10 + j) as u32]).collect();
+            c.all_to_all(outbox, TrafficClass::Control)
+        });
+        for (me, inbox) in out.iter().enumerate() {
+            for (src, v) in inbox.iter().enumerate() {
+                assert_eq!(v[0] as usize, src * 10 + me, "rank {me} from {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_counts_point_to_point() {
+        let out = run_ranks(2, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![0f32; 100], TrafficClass::Boundary);
+            } else {
+                let _: Vec<f32> = c.recv(0, 1);
+            }
+            c.stats().clone()
+        });
+        assert_eq!(out[0].bytes(TrafficClass::Boundary), 400);
+        assert_eq!(out[1].total_bytes(), 0);
+    }
+
+    #[test]
+    fn world_of_one_collectives_are_noops() {
+        let out = run_ranks(1, |mut c| {
+            let mut buf = vec![3.0f32];
+            c.all_reduce_sum(&mut buf);
+            c.barrier();
+            let g = c.all_gather(vec![7u32], TrafficClass::Control);
+            (buf[0], g.len())
+        });
+        assert_eq!(out, vec![(3.0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_tags_rejected() {
+        let mut world = create_world(2);
+        let mut c = world.remove(0);
+        c.send(1, COLL_BASE, vec![0u8], TrafficClass::Control);
+    }
+}

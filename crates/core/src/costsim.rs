@@ -1,0 +1,143 @@
+//! Analytic epoch-time models for the full-graph training baselines the
+//! paper compares against in Figure 4: ROC (partition parallelism with
+//! CPU–GPU swapping) and CAGNET (intra-layer model parallelism with
+//! feature broadcasts).
+//!
+//! Neither system is available here (both are CUDA/MPI codebases), so —
+//! per the substitution rule — we model the *bytes each scheme must
+//! move*, which is what Figure 4's ordering is about, and convert bytes
+//! to seconds with the same [`CostModel`] used for BNS-GCN's own
+//! simulated timings:
+//!
+//! * **Vanilla / BNS-GCN**: per layer, each rank sends its selected
+//!   boundary rows (counted exactly by the engine).
+//! * **ROC-sim**: vanilla partition parallelism *plus* per-layer
+//!   host↔device swaps of the partition's activations over a slower
+//!   swap link (ROC stores partitions in host memory).
+//! * **CAGNET-sim (c = 2)**: 1.5D algorithm; per layer each rank
+//!   broadcasts its feature block to `k/c − 1` peers and reduces
+//!   partial products, moving `Θ(n·d/√?)`-scale data that does **not**
+//!   shrink with graph locality — the reason it loses to BNS-GCN.
+
+use bns_comm::CostModel;
+
+/// Workload description for the analytic models.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerWorkload {
+    /// Total nodes in the graph.
+    pub n: usize,
+    /// Number of partitions/ranks.
+    pub k: usize,
+    /// Feature width of this layer's input.
+    pub d: usize,
+    /// Max boundary-set size over partitions (bottleneck rank).
+    pub max_boundary: usize,
+    /// Total edges (for compute estimation).
+    pub edges: usize,
+}
+
+/// Per-epoch simulated seconds for vanilla partition parallelism (the
+/// BNS engine measures its own traffic; this closed form exists for
+/// cross-checks): forward + backward move each boundary row twice.
+pub fn vanilla_epoch_time(layers: &[LayerWorkload], cost: &CostModel) -> f64 {
+    layers
+        .iter()
+        .map(|l| {
+            let bytes = 2 * l.max_boundary * l.d * 4; // fwd + bwd
+            let comp = compute_flops(l);
+            cost.comm_time(bytes as u64, 2 * (l.k as u64 - 1).max(1))
+                + cost.compute_time(comp)
+        })
+        .sum()
+}
+
+/// ROC-style epoch time: vanilla communication plus per-layer
+/// activation swaps (`n/k · d` floats down and up) over the swap link.
+pub fn roc_epoch_time(layers: &[LayerWorkload], cost: &CostModel, swap: &CostModel) -> f64 {
+    let base = vanilla_epoch_time(layers, cost);
+    let swap_time: f64 = layers
+        .iter()
+        .map(|l| {
+            let bytes = 2 * (l.n / l.k.max(1)) * l.d * 4;
+            // Forward and backward each page activations in and out.
+            2.0 * swap.comm_time(bytes as u64, 2)
+        })
+        .sum();
+    base + swap_time
+}
+
+/// CAGNET-style (1.5D, replication factor `c`) epoch time: per layer,
+/// each rank broadcasts its `n/k × d` feature block to the `k/c − 1`
+/// other ranks in its replication group and participates in reductions
+/// of the same scale; forward + backward double it.
+pub fn cagnet_epoch_time(layers: &[LayerWorkload], c: usize, cost: &CostModel) -> f64 {
+    layers
+        .iter()
+        .map(|l| {
+            let k = l.k.max(1);
+            let group = (k / c.max(1)).max(1);
+            let block_bytes = (l.n / k) * l.d * 4;
+            let bcast_bytes = block_bytes as u64 * (group as u64 - 1).max(1);
+            let msgs = (group as u64 - 1).max(1) * 2;
+            let comp = compute_flops(l);
+            2.0 * cost.comm_time(bcast_bytes, msgs) + cost.compute_time(comp)
+        })
+        .sum()
+}
+
+/// FLOPs of one GraphSAGE layer over the bottleneck partition.
+fn compute_flops(l: &LayerWorkload) -> f64 {
+    let n_part = (l.n / l.k.max(1)) as f64;
+    let e_part = (l.edges / l.k.max(1)) as f64;
+    // aggregate + two matmuls, forward and backward.
+    3.0 * (2.0 * e_part * l.d as f64 + 4.0 * n_part * l.d as f64 * l.d as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(k: usize, max_boundary: usize) -> Vec<LayerWorkload> {
+        vec![
+            LayerWorkload {
+                n: 100_000,
+                k,
+                d: 128,
+                max_boundary,
+                edges: 2_000_000,
+            };
+            3
+        ]
+    }
+
+    #[test]
+    fn roc_is_slower_than_vanilla() {
+        let cost = CostModel::pcie3();
+        let swap = CostModel::swap_link();
+        let w = workload(8, 30_000);
+        assert!(roc_epoch_time(&w, &cost, &swap) > vanilla_epoch_time(&w, &cost));
+    }
+
+    #[test]
+    fn cagnet_scales_with_n_not_boundary() {
+        let cost = CostModel::pcie3();
+        // Tiny boundary: vanilla gets much cheaper, CAGNET stays put.
+        let small_bd = workload(8, 1_000);
+        let big_bd = workload(8, 50_000);
+        let v_small = vanilla_epoch_time(&small_bd, &cost);
+        let v_big = vanilla_epoch_time(&big_bd, &cost);
+        let c_small = cagnet_epoch_time(&small_bd, 2, &cost);
+        let c_big = cagnet_epoch_time(&big_bd, 2, &cost);
+        assert!(v_small < v_big);
+        assert!((c_small - c_big).abs() < 1e-9, "CAGNET ignores boundary");
+        assert!(c_small > v_small, "vanilla wins when boundaries are small");
+    }
+
+    #[test]
+    fn sampling_shrinks_vanilla_time() {
+        let cost = CostModel::pcie3();
+        let full = workload(8, 40_000);
+        let sampled = workload(8, 4_000); // p = 0.1
+        assert!(vanilla_epoch_time(&sampled, &cost) < vanilla_epoch_time(&full, &cost));
+    }
+}

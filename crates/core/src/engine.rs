@@ -1,0 +1,1556 @@
+//! The partition-parallel training engine — Algorithm 1 of the paper.
+//!
+//! One OS thread per partition. Every epoch each rank: (1) samples its
+//! boundary set and broadcasts the selection (lines 4–7), (2) runs the
+//! layer loop, exchanging boundary features before each layer's forward
+//! and boundary-feature *gradients* after each layer's backward (lines
+//! 8–13), (3) all-reduces weight gradients and steps Adam (lines 14–15).
+//!
+//! Instrumentation: wall-clock per phase (sampling / compute /
+//! communication / reduce — the paper's Fig. 5 and Tables 6, 12
+//! breakdowns), byte-accurate per-class traffic, the Eq. 4 memory
+//! model, and a FLOP estimate feeding the α–β cost model for
+//! hardware-independent throughput comparisons.
+
+use crate::memory::epoch_activation_bytes;
+use crate::plan::{LocalPartition, PartitionPlan};
+use crate::sampling::{build_epoch_topology, BoundarySampling, EpochTopology};
+use bns_comm::{run_ranks, CostModel, RankComm, TrafficClass, TrafficStats};
+use bns_data::{Dataset, Labels};
+use bns_nn::loss::{bce_with_logits, softmax_cross_entropy};
+use bns_nn::metrics::{accuracy_counts, multilabel_counts, F1Counts};
+use bns_nn::{
+    flatten, unflatten_into, Activation, Adam, GatCache, GatLayer, GcnCache, GcnLayer, SageCache,
+    SageLayer,
+};
+use bns_partition::Partitioning;
+use bns_tensor::{Matrix, SeededRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which model architecture the engine trains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelArch {
+    /// GraphSAGE with mean aggregator (all main experiments).
+    Sage,
+    /// Single-head GAT (the paper's Table 10 ablation).
+    Gat,
+    /// Plain GCN with symmetric normalization (the propagation the
+    /// paper's Appendix A variance analysis is stated for).
+    Gcn,
+}
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Model architecture.
+    pub arch: ModelArch,
+    /// Hidden-layer widths (input/output dims come from the dataset),
+    /// e.g. `vec![256; 3]` for the paper's 4-layer Reddit model.
+    pub hidden: Vec<usize>,
+    /// Input dropout rate per layer.
+    pub dropout: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Boundary sampling strategy (the paper's `p`).
+    pub sampling: BoundarySampling,
+    /// Evaluate val/test every this many epochs (`0` = final epoch
+    /// only).
+    pub eval_every: usize,
+    /// Seed for model init, sampling and dropout.
+    pub seed: u64,
+    /// Global gradient-norm clip applied after the all-reduce (`None`
+    /// disables). Small sampled boundary sets with a large `1/p` rescale
+    /// can produce occasional gradient spikes on the scaled-down
+    /// datasets; clipping tames them without biasing the expectation
+    /// direction.
+    pub clip_norm: Option<f32>,
+    /// PipeGCN-style pipelining (extension; the companion approach the
+    /// paper's introduction cites): boundary features and boundary
+    /// gradients are used with **one epoch of staleness**, which lets a
+    /// real system overlap communication with computation instead of
+    /// shrinking it. Requires a static sampling strategy
+    /// ([`BoundarySampling::is_static`]); epoch 0 is synchronous.
+    /// Compare simulated times with
+    /// [`SimulatedEpoch::pipelined_total`].
+    pub pipeline: bool,
+}
+
+impl TrainConfig {
+    /// A small fast configuration for tests and examples.
+    pub fn quick_test() -> Self {
+        Self {
+            arch: ModelArch::Sage,
+            hidden: vec![16],
+            dropout: 0.0,
+            lr: 0.01,
+            epochs: 10,
+            sampling: BoundarySampling::Bns { p: 1.0 },
+            eval_every: 0,
+            seed: 0,
+            clip_norm: None,
+            pipeline: false,
+        }
+    }
+
+    /// The paper's Reddit model (4 layers, 256 hidden, dropout 0.5,
+    /// lr 0.01) with an epoch count scaled for CPU.
+    pub fn reddit() -> Self {
+        Self {
+            arch: ModelArch::Sage,
+            hidden: vec![256, 256, 256],
+            dropout: 0.5,
+            lr: 0.01,
+            epochs: 100,
+            sampling: BoundarySampling::Bns { p: 1.0 },
+            eval_every: 10,
+            seed: 0,
+            clip_norm: None,
+            pipeline: false,
+        }
+    }
+
+    /// The paper's ogbn-products model (3 layers, 128 hidden, dropout
+    /// 0.3, lr 0.003), epochs scaled.
+    pub fn products() -> Self {
+        Self {
+            arch: ModelArch::Sage,
+            hidden: vec![128, 128],
+            dropout: 0.3,
+            lr: 0.003,
+            epochs: 100,
+            sampling: BoundarySampling::Bns { p: 1.0 },
+            eval_every: 10,
+            seed: 0,
+            clip_norm: None,
+            pipeline: false,
+        }
+    }
+
+    /// The paper's Yelp model (4 layers, 512 hidden, dropout 0.1,
+    /// lr 0.001), width/epochs scaled.
+    pub fn yelp() -> Self {
+        Self {
+            arch: ModelArch::Sage,
+            hidden: vec![256, 256, 256],
+            dropout: 0.1,
+            lr: 0.001,
+            epochs: 100,
+            sampling: BoundarySampling::Bns { p: 1.0 },
+            eval_every: 10,
+            seed: 0,
+            clip_norm: None,
+            pipeline: false,
+        }
+    }
+}
+
+/// Per-epoch statistics (phase times are the max over ranks — the
+/// synchronous-training bottleneck, as in the paper's breakdowns).
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// Global training loss (sum over train nodes / global train count).
+    pub loss: f64,
+    /// Boundary-sampling + topology-build time, seconds.
+    pub sample_s: f64,
+    /// Local forward+backward compute time, seconds.
+    pub compute_s: f64,
+    /// Boundary feature/gradient communication time, seconds.
+    pub comm_s: f64,
+    /// Gradient all-reduce time, seconds.
+    pub reduce_s: f64,
+    /// Traffic sent this epoch, per rank.
+    pub traffic_per_rank: Vec<TrafficStats>,
+    /// Estimated FLOPs executed this epoch, per rank.
+    pub flops_per_rank: Vec<f64>,
+    /// Total boundary nodes selected this epoch (all ranks).
+    pub selected_boundary: usize,
+    /// Validation score, when evaluated this epoch.
+    pub val_score: Option<f64>,
+    /// Test score, when evaluated this epoch.
+    pub test_score: Option<f64>,
+}
+
+impl EpochStats {
+    /// Measured wall-clock epoch time (sum of phases).
+    pub fn total_s(&self) -> f64 {
+        self.sample_s + self.compute_s + self.comm_s + self.reduce_s
+    }
+
+    /// Simulated epoch time under a cost model: bottleneck compute +
+    /// boundary comm + reduce comm (the three components of the paper's
+    /// Fig. 5 / Table 6).
+    pub fn simulated(&self, cost: &CostModel) -> SimulatedEpoch {
+        self.simulated_scaled(cost, 1.0)
+    }
+
+    /// Like [`EpochStats::simulated`] but with bytes and FLOPs scaled by
+    /// `workload_scale` while message counts stay fixed. Experiments use
+    /// this to project measurements from the scaled-down synthetic
+    /// datasets into the paper's dataset-size regime (where transfers
+    /// are bandwidth-bound, not latency-bound): per-epoch bytes and
+    /// FLOPs are proportional to graph size, but the number of messages
+    /// per epoch is not.
+    pub fn simulated_scaled(&self, cost: &CostModel, workload_scale: f64) -> SimulatedEpoch {
+        let s = workload_scale;
+        let comp = self
+            .flops_per_rank
+            .iter()
+            .fold(0.0f64, |a, &f| a.max(cost.compute_time(f * s)));
+        let time_class = |class: TrafficClass| {
+            self.traffic_per_rank
+                .iter()
+                .map(|t| {
+                    cost.comm_time((t.bytes(class) as f64 * s) as u64, t.messages(class))
+                })
+                .fold(0.0f64, f64::max)
+        };
+        SimulatedEpoch {
+            comp,
+            comm: time_class(TrafficClass::Boundary),
+            reduce: time_class(TrafficClass::AllReduce),
+        }
+    }
+}
+
+/// Simulated epoch-time breakdown under a [`CostModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulatedEpoch {
+    /// Compute component, seconds.
+    pub comp: f64,
+    /// Boundary-communication component, seconds.
+    pub comm: f64,
+    /// Gradient-all-reduce component, seconds.
+    pub reduce: f64,
+}
+
+impl SimulatedEpoch {
+    /// Total simulated epoch time.
+    pub fn total(&self) -> f64 {
+        self.comp + self.comm + self.reduce
+    }
+
+    /// Simulated epoch time when boundary communication is fully
+    /// overlapped with computation (the PipeGCN pipelining model): the
+    /// slower of the two plus the (still synchronous) all-reduce.
+    pub fn pipelined_total(&self) -> f64 {
+        self.comp.max(self.comm) + self.reduce
+    }
+}
+
+/// A trained model extracted from the engine (all ranks hold identical
+/// replicas; this is rank 0's). Supports single-process full-graph
+/// inference — the "train distributed, deploy anywhere" path.
+#[derive(Debug, Clone)]
+pub enum TrainedModel {
+    /// GraphSAGE layers.
+    Sage(bns_nn::SageModel),
+    /// GAT layers.
+    Gat(bns_nn::GatModel),
+    /// Plain GCN layers.
+    Gcn(Vec<GcnLayer>),
+}
+
+impl TrainedModel {
+    /// Full-graph logits on a dataset (evaluation mode, no dropout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset's feature dimension does not match the
+    /// model's input layer.
+    pub fn logits(&self, ds: &Dataset) -> Matrix {
+        let mut rng = SeededRng::new(0);
+        let n = ds.num_nodes();
+        match self {
+            TrainedModel::Sage(m) => {
+                let scale = ds.mean_scale();
+                m.forward_full(&ds.graph, &ds.features, &scale, false, &mut rng).0
+            }
+            TrainedModel::Gat(m) => {
+                let mut h = ds.features.clone();
+                for layer in &m.layers {
+                    let (next, _) = layer.forward(&ds.graph, &h, n, false, &mut rng);
+                    h = next;
+                }
+                h
+            }
+            TrainedModel::Gcn(layers) => {
+                let scale = ds.gcn_scale();
+                let mut h = ds.features.clone();
+                for layer in layers {
+                    let (next, _) = layer.forward(&ds.graph, &h, n, &scale, false, &mut rng);
+                    h = next;
+                }
+                h
+            }
+        }
+    }
+
+    /// Scores `(val, test)` on a dataset: accuracy for single-label,
+    /// micro-F1 for multi-label.
+    pub fn evaluate(&self, ds: &Dataset) -> (f64, f64) {
+        let out = self.logits(ds);
+        match &ds.labels {
+            Labels::Single(labels) => (
+                bns_nn::metrics::accuracy(&out, labels, &ds.val),
+                bns_nn::metrics::accuracy(&out, labels, &ds.test),
+            ),
+            Labels::Multi(y) => (
+                bns_nn::metrics::micro_f1(&out, y, &ds.val),
+                bns_nn::metrics::micro_f1(&out, y, &ds.test),
+            ),
+        }
+    }
+}
+
+/// The result of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainRun {
+    /// Per-epoch statistics.
+    pub epochs: Vec<EpochStats>,
+    /// Final validation score (accuracy or micro-F1).
+    pub final_val: f64,
+    /// Final test score.
+    pub final_test: f64,
+    /// Peak analytic activation memory per rank, bytes.
+    pub peak_mem_per_rank: Vec<u64>,
+    /// Number of partitions.
+    pub k: usize,
+    /// Static boundary-set sizes per rank.
+    pub boundary_per_rank: Vec<usize>,
+    /// The trained model (rank 0's replica; all ranks are identical).
+    pub model: TrainedModel,
+}
+
+impl TrainRun {
+    /// Mean measured epoch time over all epochs, seconds.
+    pub fn avg_epoch_s(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs.iter().map(EpochStats::total_s).sum::<f64>() / self.epochs.len() as f64
+    }
+
+    /// Mean simulated epoch time under a cost model.
+    pub fn avg_sim_epoch(&self, cost: &CostModel) -> SimulatedEpoch {
+        self.avg_sim_epoch_scaled(cost, 1.0)
+    }
+
+    /// Mean simulated epoch time with a workload scale (see
+    /// [`EpochStats::simulated_scaled`]).
+    pub fn avg_sim_epoch_scaled(&self, cost: &CostModel, workload_scale: f64) -> SimulatedEpoch {
+        let mut acc = SimulatedEpoch {
+            comp: 0.0,
+            comm: 0.0,
+            reduce: 0.0,
+        };
+        if self.epochs.is_empty() {
+            return acc;
+        }
+        for e in &self.epochs {
+            let s = e.simulated_scaled(cost, workload_scale);
+            acc.comp += s.comp;
+            acc.comm += s.comm;
+            acc.reduce += s.reduce;
+        }
+        let n = self.epochs.len() as f64;
+        acc.comp /= n;
+        acc.comm /= n;
+        acc.reduce /= n;
+        acc
+    }
+
+    /// The `(val, test)` pair at the evaluated epoch with the best
+    /// validation score — the model-selection rule the paper's accuracy
+    /// tables use. Falls back to the final scores if nothing was
+    /// evaluated mid-run.
+    pub fn best_by_val(&self) -> (f64, f64) {
+        self.epochs
+            .iter()
+            .filter_map(|e| e.val_score.zip(e.test_score))
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .unwrap_or((self.final_val, self.final_test))
+    }
+
+    /// Total boundary bytes sent over the whole run.
+    pub fn total_boundary_bytes(&self) -> u64 {
+        self.epochs
+            .iter()
+            .flat_map(|e| e.traffic_per_rank.iter())
+            .map(|t| t.bytes(TrafficClass::Boundary))
+            .sum()
+    }
+
+    /// Mean per-epoch boundary communication volume in megabytes.
+    pub fn epoch_comm_mb(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.total_boundary_bytes() as f64 / self.epochs.len() as f64 / 1e6
+    }
+}
+
+// ---------------------------------------------------------------------
+// Layer dispatch
+// ---------------------------------------------------------------------
+
+/// A layer the distributed engine can drive (GraphSAGE or GAT).
+#[derive(Debug, Clone)]
+enum AnyLayer {
+    Sage(SageLayer),
+    Gat(GatLayer),
+    Gcn(GcnLayer),
+}
+
+enum AnyCache {
+    Sage(SageCache),
+    Gat(GatCache),
+    Gcn(GcnCache),
+}
+
+impl AnyLayer {
+    #[allow(clippy::too_many_arguments)]
+    fn forward(
+        &self,
+        g: &bns_graph::CsrGraph,
+        h: &Matrix,
+        n_out: usize,
+        scale: &[f32],
+        gcn_scale: &[f32],
+        train: bool,
+        rng: &mut SeededRng,
+    ) -> (Matrix, AnyCache) {
+        match self {
+            AnyLayer::Sage(l) => {
+                let (o, c) = l.forward(g, h, n_out, scale, train, rng);
+                (o, AnyCache::Sage(c))
+            }
+            AnyLayer::Gat(l) => {
+                let (o, c) = l.forward(g, h, n_out, train, rng);
+                (o, AnyCache::Gat(c))
+            }
+            AnyLayer::Gcn(l) => {
+                let (o, c) = l.forward(g, h, n_out, gcn_scale, train, rng);
+                (o, AnyCache::Gcn(c))
+            }
+        }
+    }
+
+    fn backward(
+        &self,
+        g: &bns_graph::CsrGraph,
+        cache: &AnyCache,
+        d: &Matrix,
+    ) -> (Matrix, Vec<Matrix>) {
+        match (self, cache) {
+            (AnyLayer::Sage(l), AnyCache::Sage(c)) => {
+                let (dh, gr) = l.backward(g, c, d);
+                (dh, vec![gr.w_self, gr.w_neigh, gr.b])
+            }
+            (AnyLayer::Gat(l), AnyCache::Gat(c)) => {
+                let (dh, gr) = l.backward(c, d);
+                (dh, vec![gr.w, gr.a_l, gr.a_r])
+            }
+            (AnyLayer::Gcn(l), AnyCache::Gcn(c)) => {
+                let (dh, gr) = l.backward(g, c, d);
+                (dh, vec![gr.w, gr.b])
+            }
+            _ => unreachable!("cache/layer kind mismatch"),
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        match self {
+            AnyLayer::Sage(l) => l.params_mut(),
+            AnyLayer::Gat(l) => l.params_mut(),
+            AnyLayer::Gcn(l) => vec![&mut l.w, &mut l.b],
+        }
+    }
+}
+
+fn build_layers(cfg: &TrainConfig, d_in: usize, d_out: usize) -> Vec<AnyLayer> {
+    let mut dims = Vec::with_capacity(cfg.hidden.len() + 2);
+    dims.push(d_in);
+    dims.extend_from_slice(&cfg.hidden);
+    dims.push(d_out);
+    let mut rng = SeededRng::new(cfg.seed);
+    let last = dims.len() - 2;
+    (0..dims.len() - 1)
+        .map(|l| match cfg.arch {
+            ModelArch::Sage => {
+                let act = if l == last {
+                    Activation::Identity
+                } else {
+                    Activation::Relu
+                };
+                AnyLayer::Sage(SageLayer::new(dims[l], dims[l + 1], act, cfg.dropout, &mut rng))
+            }
+            ModelArch::Gat => {
+                let act = if l == last {
+                    Activation::Identity
+                } else {
+                    Activation::Elu
+                };
+                AnyLayer::Gat(GatLayer::new(dims[l], dims[l + 1], act, cfg.dropout, &mut rng))
+            }
+            ModelArch::Gcn => {
+                let act = if l == last {
+                    Activation::Identity
+                } else {
+                    Activation::Relu
+                };
+                AnyLayer::Gcn(GcnLayer::new(dims[l], dims[l + 1], act, cfg.dropout, &mut rng))
+            }
+        })
+        .collect()
+}
+
+/// Full dims vector (input, hidden..., classes).
+fn dims_of(cfg: &TrainConfig, d_in: usize, d_out: usize) -> Vec<usize> {
+    let mut dims = vec![d_in];
+    dims.extend_from_slice(&cfg.hidden);
+    dims.push(d_out);
+    dims
+}
+
+// ---------------------------------------------------------------------
+// Per-epoch communication plumbing
+// ---------------------------------------------------------------------
+
+/// Per-owner view of this rank's selected boundary nodes: `(owner,
+/// selected-index range, relative positions within the owner's block)`.
+fn per_owner_selection(lp: &LocalPartition, selected: &[usize]) -> Vec<(usize, std::ops::Range<usize>, Vec<u32>)> {
+    let mut out = Vec::new();
+    let mut cursor = 0usize;
+    for owner in 0..lp.owner_ranges.len() {
+        if owner == lp.rank {
+            continue;
+        }
+        let (s, e) = lp.owner_ranges[owner];
+        let start = cursor;
+        let mut rel = Vec::new();
+        while cursor < selected.len() && selected[cursor] < e {
+            debug_assert!(selected[cursor] >= s);
+            rel.push((selected[cursor] - s) as u32);
+            cursor += 1;
+        }
+        out.push((owner, start..cursor, rel));
+    }
+    out
+}
+
+/// Exchanged selection state for one epoch: what to send to and expect
+/// from each peer.
+struct EpochExchange {
+    /// For each peer j: local inner rows to send each layer.
+    rows_to_send: Vec<Vec<usize>>,
+    /// Per-owner selected ranges (into the epoch's selected list).
+    owner_sel: Vec<(usize, std::ops::Range<usize>, Vec<u32>)>,
+}
+
+fn exchange_selection(
+    comm: &mut RankComm,
+    lp: &LocalPartition,
+    selected: &[usize],
+    tag: u64,
+) -> EpochExchange {
+    let k = comm.world_size();
+    let me = comm.rank();
+    let owner_sel = per_owner_selection(lp, selected);
+    // Tell each owner which of its nodes we selected.
+    for (owner, _, rel) in &owner_sel {
+        comm.send(*owner, tag, rel.clone(), TrafficClass::Control);
+    }
+    // Learn which of our rows each peer selected.
+    let mut rows_to_send: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for j in 0..k {
+        if j == me {
+            continue;
+        }
+        let rel: Vec<u32> = comm.recv(j, tag);
+        rows_to_send[j] = rel
+            .iter()
+            .map(|&p| lp.send_lists[j][p as usize])
+            .collect();
+    }
+    EpochExchange {
+        rows_to_send,
+        owner_sel,
+    }
+}
+
+/// Sends the requested feature rows to every peer and assembles the
+/// received boundary block (scaled by `feature_scale`), returning the
+/// stacked `h_full`.
+fn exchange_features(
+    comm: &mut RankComm,
+    ex: &EpochExchange,
+    h_inner: &Matrix,
+    n_selected: usize,
+    feature_scale: f32,
+    tag: u64,
+) -> Matrix {
+    let d = h_inner.cols();
+    for (j, rows) in ex.rows_to_send.iter().enumerate() {
+        if rows.is_empty() {
+            continue;
+        }
+        let block = h_inner.gather_rows(rows);
+        comm.send(j, tag, block.into_vec(), TrafficClass::Boundary);
+    }
+    let mut h_bd = Matrix::zeros(n_selected, d);
+    for (owner, range, rel) in &ex.owner_sel {
+        if rel.is_empty() {
+            continue;
+        }
+        let data: Vec<f32> = comm.recv(*owner, tag);
+        debug_assert_eq!(data.len(), rel.len() * d);
+        let rows = range.clone();
+        h_bd.as_mut_slice()[rows.start * d..rows.end * d].copy_from_slice(&data);
+    }
+    if feature_scale != 1.0 {
+        h_bd.scale(feature_scale);
+    }
+    h_inner.vstack(&h_bd)
+}
+
+/// Pipelined variant of [`exchange_features`]: sends the current rows,
+/// receives the peers' current rows into `cache`, but *returns* the
+/// previous epoch's cached boundary block (one-epoch staleness). On the
+/// first epoch (empty cache) the fresh block is used directly.
+fn exchange_features_stale(
+    comm: &mut RankComm,
+    ex: &EpochExchange,
+    h_inner: &Matrix,
+    n_selected: usize,
+    feature_scale: f32,
+    tag: u64,
+    cache: &mut Option<Matrix>,
+) -> Matrix {
+    let d = h_inner.cols();
+    for (j, rows) in ex.rows_to_send.iter().enumerate() {
+        if rows.is_empty() {
+            continue;
+        }
+        let block = h_inner.gather_rows(rows);
+        comm.send(j, tag, block.into_vec(), TrafficClass::Boundary);
+    }
+    let mut fresh = Matrix::zeros(n_selected, d);
+    for (owner, range, rel) in &ex.owner_sel {
+        if rel.is_empty() {
+            continue;
+        }
+        let data: Vec<f32> = comm.recv(*owner, tag);
+        fresh.as_mut_slice()[range.start * d..range.end * d].copy_from_slice(&data);
+    }
+    if feature_scale != 1.0 {
+        fresh.scale(feature_scale);
+    }
+    let use_bd = match cache.take() {
+        Some(prev) => {
+            *cache = Some(fresh);
+            prev
+        }
+        None => {
+            *cache = Some(fresh.clone());
+            fresh
+        }
+    };
+    h_inner.vstack(&use_bd)
+}
+
+/// Sends boundary-row gradients back to their owners (scaled by
+/// `feature_scale`, the chain rule through the `H/p` rescale) and
+/// accumulates the gradients peers send for the rows we provided.
+fn exchange_gradients(
+    comm: &mut RankComm,
+    ex: &EpochExchange,
+    d_inner: &mut Matrix,
+    d_bd: &Matrix,
+    feature_scale: f32,
+    tag: u64,
+) {
+    let d = d_inner.cols();
+    for (owner, range, rel) in &ex.owner_sel {
+        if rel.is_empty() {
+            continue;
+        }
+        let mut block: Vec<f32> =
+            d_bd.as_slice()[range.start * d..range.end * d].to_vec();
+        if feature_scale != 1.0 {
+            for x in &mut block {
+                *x *= feature_scale;
+            }
+        }
+        comm.send(*owner, tag, block, TrafficClass::Boundary);
+    }
+    for (j, rows) in ex.rows_to_send.iter().enumerate() {
+        if rows.is_empty() {
+            continue;
+        }
+        let data: Vec<f32> = comm.recv(j, tag);
+        let block = Matrix::from_vec(rows.len(), d, data);
+        d_inner.scatter_add_rows(rows, &block);
+    }
+}
+
+/// Pipelined variant of [`exchange_gradients`]: the freshly received
+/// gradient contributions go into `cache`; the *previous* epoch's cached
+/// contributions are applied (one-epoch staleness). First epoch applies
+/// fresh.
+#[allow(clippy::too_many_arguments)]
+fn exchange_gradients_stale(
+    comm: &mut RankComm,
+    ex: &EpochExchange,
+    d_inner: &mut Matrix,
+    d_bd: &Matrix,
+    feature_scale: f32,
+    tag: u64,
+    cache: &mut Option<Vec<Matrix>>,
+) {
+    let d = d_inner.cols();
+    for (owner, range, rel) in &ex.owner_sel {
+        if rel.is_empty() {
+            continue;
+        }
+        let mut block: Vec<f32> = d_bd.as_slice()[range.start * d..range.end * d].to_vec();
+        if feature_scale != 1.0 {
+            for x in &mut block {
+                *x *= feature_scale;
+            }
+        }
+        comm.send(*owner, tag, block, TrafficClass::Boundary);
+    }
+    let mut fresh: Vec<Matrix> = Vec::new();
+    for (j, rows) in ex.rows_to_send.iter().enumerate() {
+        if rows.is_empty() {
+            continue;
+        }
+        let data: Vec<f32> = comm.recv(j, tag);
+        fresh.push(Matrix::from_vec(rows.len(), d, data));
+    }
+    let apply = match cache.take() {
+        Some(prev) => {
+            *cache = Some(fresh);
+            prev
+        }
+        None => {
+            *cache = Some(fresh.clone());
+            fresh
+        }
+    };
+    let mut i = 0usize;
+    for rows in ex.rows_to_send.iter().filter(|r| !r.is_empty()) {
+        d_inner.scatter_add_rows(rows, &apply[i]);
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// The trainer
+// ---------------------------------------------------------------------
+
+struct RankEpoch {
+    loss: f64,
+    sample_s: f64,
+    compute_s: f64,
+    comm_s: f64,
+    reduce_s: f64,
+    traffic: TrafficStats,
+    flops: f64,
+    selected: usize,
+    val: Option<(u64, u64, u64)>,  // tp/correct, fp/total, fn (single uses 2)
+    test: Option<(u64, u64, u64)>,
+}
+
+struct RankOutput {
+    epochs: Vec<RankEpoch>,
+    peak_mem: u64,
+    boundary: usize,
+    layers: Option<Vec<AnyLayer>>,
+}
+
+/// Trains a model partition-parallel per the configuration and returns
+/// the full instrumented run.
+///
+/// # Panics
+///
+/// Panics if the partitioning does not match the dataset.
+pub fn train(ds: &Arc<Dataset>, part: &Partitioning, cfg: &TrainConfig) -> TrainRun {
+    let plan = Arc::new(PartitionPlan::build(ds, part));
+    train_with_plan(&plan, cfg)
+}
+
+/// Like [`train`] but reuses an already-built [`PartitionPlan`]
+/// (partition-plan construction is deterministic, so sharing it across
+/// sampling-rate sweeps keeps experiments fast).
+pub fn train_with_plan(plan: &Arc<PartitionPlan>, cfg: &TrainConfig) -> TrainRun {
+    assert!(
+        !cfg.pipeline || cfg.sampling.is_static(),
+        "pipelined training requires a static sampling strategy (p = 0 or 1)"
+    );
+    let k = plan.k;
+    let cfg = Arc::new(cfg.clone());
+    let plan2 = Arc::clone(plan);
+    let outputs: Vec<RankOutput> = run_ranks(k, move |comm| {
+        rank_worker(comm, &plan2, &cfg)
+    });
+    assemble_run(plan, outputs)
+}
+
+fn assemble_run(plan: &PartitionPlan, outputs: Vec<RankOutput>) -> TrainRun {
+    let k = plan.k;
+    let n_epochs = outputs[0].epochs.len();
+    let multi = matches!(plan.parts[0].labels, Labels::Multi(_));
+    let mut epochs = Vec::with_capacity(n_epochs);
+    let mut final_val = 0.0;
+    let mut final_test = 0.0;
+    for e in 0..n_epochs {
+        let loss = outputs[0].epochs[e].loss;
+        let max_of = |f: fn(&RankEpoch) -> f64| {
+            outputs
+                .iter()
+                .map(|o| f(&o.epochs[e]))
+                .fold(0.0f64, f64::max)
+        };
+        let traffic_per_rank: Vec<TrafficStats> =
+            outputs.iter().map(|o| o.epochs[e].traffic.clone()).collect();
+        let flops_per_rank: Vec<f64> = outputs.iter().map(|o| o.epochs[e].flops).collect();
+        let selected_boundary: usize = outputs.iter().map(|o| o.epochs[e].selected).sum();
+        let score = |get: fn(&RankEpoch) -> Option<(u64, u64, u64)>| -> Option<f64> {
+            let parts: Option<Vec<(u64, u64, u64)>> =
+                outputs.iter().map(|o| get(&o.epochs[e])).collect();
+            let parts = parts?;
+            if multi {
+                let mut c = F1Counts::default();
+                for (tp, fp, fn_) in parts {
+                    c.merge(F1Counts { tp, fp, fn_ });
+                }
+                Some(c.micro_f1())
+            } else {
+                let correct: u64 = parts.iter().map(|p| p.0).sum();
+                let total: u64 = parts.iter().map(|p| p.1).sum();
+                Some(if total == 0 {
+                    0.0
+                } else {
+                    correct as f64 / total as f64
+                })
+            }
+        };
+        let val_score = score(|r| r.val);
+        let test_score = score(|r| r.test);
+        if let Some(v) = val_score {
+            final_val = v;
+        }
+        if let Some(t) = test_score {
+            final_test = t;
+        }
+        epochs.push(EpochStats {
+            loss,
+            sample_s: max_of(|r| r.sample_s),
+            compute_s: max_of(|r| r.compute_s),
+            comm_s: max_of(|r| r.comm_s),
+            reduce_s: max_of(|r| r.reduce_s),
+            traffic_per_rank,
+            flops_per_rank,
+            selected_boundary,
+            val_score,
+            test_score,
+        });
+    }
+    let mut outputs = outputs;
+    let layers = outputs[0].layers.take().expect("rank 0 returns its layers");
+    let model = assemble_model(layers);
+    TrainRun {
+        epochs,
+        final_val,
+        final_test,
+        peak_mem_per_rank: outputs.iter().map(|o| o.peak_mem).collect(),
+        k,
+        boundary_per_rank: outputs.iter().map(|o| o.boundary).collect(),
+        model,
+    }
+}
+
+fn assemble_model(layers: Vec<AnyLayer>) -> TrainedModel {
+    let mut sages = Vec::new();
+    let mut gats = Vec::new();
+    let mut gcns = Vec::new();
+    for l in layers {
+        match l {
+            AnyLayer::Sage(x) => sages.push(x),
+            AnyLayer::Gat(x) => gats.push(x),
+            AnyLayer::Gcn(x) => gcns.push(x),
+        }
+    }
+    if !sages.is_empty() {
+        TrainedModel::Sage(bns_nn::SageModel { layers: sages })
+    } else if !gats.is_empty() {
+        TrainedModel::Gat(bns_nn::GatModel { layers: gats })
+    } else {
+        TrainedModel::Gcn(gcns)
+    }
+}
+
+fn estimate_flops(arch: ModelArch, edges: usize, n_in: usize, n_act: usize, d_in: usize, d_out: usize) -> f64 {
+    let fwd = match arch {
+        ModelArch::Sage => {
+            2.0 * edges as f64 * d_in as f64 + 4.0 * n_in as f64 * d_in as f64 * d_out as f64
+        }
+        ModelArch::Gat => {
+            2.0 * n_act as f64 * d_in as f64 * d_out as f64 + 8.0 * edges as f64 * d_out as f64
+        }
+        ModelArch::Gcn => 2.0 * edges as f64 * d_in as f64 + 2.0 * n_in as f64 * d_in as f64 * d_out as f64,
+    };
+    3.0 * fwd // forward + ~2x backward
+}
+
+fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> RankOutput {
+    let me = comm.rank();
+    let lp = Arc::clone(&plan.parts[me]);
+    let n_in = lp.n_inner();
+    let d_out_classes = plan.num_classes;
+    let dims = dims_of(cfg, plan.feat_dim, d_out_classes);
+    let mut layers = build_layers(cfg, plan.feat_dim, d_out_classes);
+    let num_layers = layers.len();
+    let mut opt = Adam::new(cfg.lr);
+    let mut rng = SeededRng::new(cfg.seed ^ 0x5eed_0000).fork(me as u64 + 1);
+    let edge_seed = cfg.seed ^ 0xed6e_5eed;
+
+    // Static full topology for evaluation (and for static sampling).
+    let full_topo: EpochTopology = build_epoch_topology(
+        &lp,
+        &BoundarySampling::Bns { p: 1.0 },
+        0,
+        edge_seed,
+        &mut rng,
+    );
+    let mut full_exchange: Option<EpochExchange> = None;
+    let mut static_topo: Option<EpochTopology> = None;
+    let mut static_exchange: Option<EpochExchange> = None;
+
+    let mut epochs_out: Vec<RankEpoch> = Vec::with_capacity(cfg.epochs);
+    let mut peak_mem = 0u64;
+    // PipeGCN-style staleness caches (per layer).
+    let mut stale_feats: Vec<Option<Matrix>> = vec![None; num_layers];
+    let mut stale_grads: Vec<Option<Vec<Matrix>>> = vec![None; num_layers];
+
+    for epoch in 0..cfg.epochs {
+        let tag_base = (epoch as u64) * 256;
+        let traffic_start = comm.stats().clone();
+
+        // ---- Phase 1: boundary sampling + selection exchange ----
+        let t0 = Instant::now();
+        let (topo, exchange): (&EpochTopology, &EpochExchange) = if cfg.sampling.is_static() {
+            if static_topo.is_none() {
+                let t = build_epoch_topology(&lp, &cfg.sampling, epoch, edge_seed, &mut rng);
+                let ex = exchange_selection(&mut comm, &lp, &t.selected, tag_base);
+                static_topo = Some(t);
+                static_exchange = Some(ex);
+            }
+            (static_topo.as_ref().unwrap(), static_exchange.as_ref().unwrap())
+        } else {
+            let t = build_epoch_topology(&lp, &cfg.sampling, epoch, edge_seed, &mut rng);
+            let ex = exchange_selection(&mut comm, &lp, &t.selected, tag_base);
+            static_topo = Some(t);
+            static_exchange = Some(ex);
+            (static_topo.as_ref().unwrap(), static_exchange.as_ref().unwrap())
+        };
+        let sample_s = t0.elapsed().as_secs_f64();
+        let n_sel = topo.selected.len();
+
+        // ---- Phase 2+3: layer loop ----
+        let mut compute_s = 0.0f64;
+        let mut comm_s = 0.0f64;
+        let mut flops = 0.0f64;
+        let mut caches: Vec<AnyCache> = Vec::with_capacity(num_layers);
+        let mut h = lp.features.clone();
+        for l in 0..num_layers {
+            let tc = Instant::now();
+            let h_full = if cfg.pipeline {
+                exchange_features_stale(
+                    &mut comm,
+                    exchange,
+                    &h,
+                    n_sel,
+                    topo.feature_scale,
+                    tag_base + 1 + l as u64,
+                    &mut stale_feats[l],
+                )
+            } else {
+                exchange_features(
+                    &mut comm,
+                    exchange,
+                    &h,
+                    n_sel,
+                    topo.feature_scale,
+                    tag_base + 1 + l as u64,
+                )
+            };
+            comm_s += tc.elapsed().as_secs_f64();
+            let tk = Instant::now();
+            let (h_next, cache) = layers[l].forward(
+                &topo.graph,
+                &h_full,
+                n_in,
+                &topo.row_scale,
+                &topo.gcn_scale,
+                true,
+                &mut rng,
+            );
+            compute_s += tk.elapsed().as_secs_f64();
+            flops += estimate_flops(
+                cfg.arch,
+                topo.graph.num_edges(),
+                n_in,
+                n_in + n_sel,
+                dims[l],
+                dims[l + 1],
+            );
+            caches.push(cache);
+            h = h_next;
+        }
+
+        // ---- Loss ----
+        let tk = Instant::now();
+        let (local_loss, mut dlogits) = match &lp.labels {
+            Labels::Single(labels) => {
+                let (loss, d, _) = softmax_cross_entropy(&h, labels, &lp.train_local);
+                (loss, d)
+            }
+            Labels::Multi(y) => bce_with_logits(&h, y, &lp.train_local),
+        };
+        dlogits.scale(1.0 / plan.global_train.max(1) as f32);
+        compute_s += tk.elapsed().as_secs_f64();
+
+        // ---- Backward ----
+        let mut layer_grads: Vec<Vec<Matrix>> = Vec::with_capacity(num_layers);
+        let mut d = dlogits;
+        for l in (0..num_layers).rev() {
+            let tk = Instant::now();
+            let (dh_full, grads) = layers[l].backward(&topo.graph, &caches[l], &d);
+            compute_s += tk.elapsed().as_secs_f64();
+            layer_grads.push(grads);
+            let tc = Instant::now();
+            let mut d_inner = dh_full.slice_rows(0, n_in);
+            if n_sel > 0 || exchange.rows_to_send.iter().any(|r| !r.is_empty()) {
+                let d_bd = dh_full.slice_rows(n_in, n_in + n_sel);
+                if cfg.pipeline {
+                    exchange_gradients_stale(
+                        &mut comm,
+                        exchange,
+                        &mut d_inner,
+                        &d_bd,
+                        topo.feature_scale,
+                        tag_base + 64 + l as u64,
+                        &mut stale_grads[l],
+                    );
+                } else {
+                    exchange_gradients(
+                        &mut comm,
+                        exchange,
+                        &mut d_inner,
+                        &d_bd,
+                        topo.feature_scale,
+                        tag_base + 64 + l as u64,
+                    );
+                }
+            }
+            comm_s += tc.elapsed().as_secs_f64();
+            d = d_inner;
+        }
+        layer_grads.reverse();
+
+        // ---- Gradient all-reduce + step ----
+        let tr = Instant::now();
+        let grad_refs: Vec<&Matrix> = layer_grads.iter().flatten().collect();
+        let mut flat = flatten(&grad_refs);
+        flat.push(local_loss as f32);
+        comm.all_reduce_sum(&mut flat);
+        let global_loss = *flat.last().unwrap() as f64 / plan.global_train.max(1) as f64;
+        flat.pop();
+        if let Some(clip) = cfg.clip_norm {
+            let norm = flat.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt() as f32;
+            if norm > clip {
+                let s = clip / norm;
+                for x in &mut flat {
+                    *x *= s;
+                }
+            }
+        }
+        let mut grad_mats: Vec<Matrix> = grad_refs
+            .iter()
+            .map(|m| Matrix::zeros(m.rows(), m.cols()))
+            .collect();
+        {
+            let mut muts: Vec<&mut Matrix> = grad_mats.iter_mut().collect();
+            unflatten_into(&flat, &mut muts);
+        }
+        {
+            let g_refs: Vec<&Matrix> = grad_mats.iter().collect();
+            let mut params: Vec<&mut Matrix> =
+                layers.iter_mut().flat_map(|l| l.params_mut()).collect();
+            opt.step(&mut params, &g_refs);
+        }
+        let reduce_s = tr.elapsed().as_secs_f64();
+
+        // ---- Memory model ----
+        let mem = epoch_activation_bytes(n_in, n_sel, &dims, cfg.dropout > 0.0);
+        peak_mem = peak_mem.max(mem);
+
+        // Snapshot training traffic before the (full-boundary) eval
+        // pass so timing/traffic stats reflect training only.
+        let traffic = comm.stats().since(&traffic_start);
+
+        // ---- Evaluation ----
+        let do_eval = epoch + 1 == cfg.epochs
+            || (cfg.eval_every > 0 && (epoch + 1) % cfg.eval_every == 0);
+        let (val, test) = if do_eval {
+            if full_exchange.is_none() {
+                full_exchange = Some(exchange_selection(
+                    &mut comm,
+                    &lp,
+                    &full_topo.selected,
+                    tag_base + 128,
+                ));
+            }
+            let fex = full_exchange.as_ref().unwrap();
+            let mut h = lp.features.clone();
+            for (l, layer) in layers.iter().enumerate() {
+                let h_full = exchange_features(
+                    &mut comm,
+                    fex,
+                    &h,
+                    full_topo.selected.len(),
+                    1.0,
+                    tag_base + 129 + l as u64,
+                );
+                let (h_next, _) = layer.forward(
+                    &full_topo.graph,
+                    &h_full,
+                    n_in,
+                    &full_topo.row_scale,
+                    &full_topo.gcn_scale,
+                    false,
+                    &mut rng,
+                );
+                h = h_next;
+            }
+            let score_of = |rows: &[usize]| -> (u64, u64, u64) {
+                match &lp.labels {
+                    Labels::Single(labels) => {
+                        let (c, t) = accuracy_counts(&h, labels, rows);
+                        (c as u64, t as u64, 0)
+                    }
+                    Labels::Multi(y) => {
+                        let c = multilabel_counts(&h, y, rows);
+                        (c.tp, c.fp, c.fn_)
+                    }
+                }
+            };
+            (Some(score_of(&lp.val_local)), Some(score_of(&lp.test_local)))
+        } else {
+            (None, None)
+        };
+
+        epochs_out.push(RankEpoch {
+            loss: global_loss,
+            sample_s,
+            compute_s,
+            comm_s,
+            reduce_s,
+            traffic,
+            flops,
+            selected: n_sel,
+            val,
+            test,
+        });
+    }
+
+    RankOutput {
+        epochs: epochs_out,
+        peak_mem,
+        boundary: lp.n_boundary(),
+        layers: if me == 0 { Some(layers) } else { None },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bns_data::SyntheticSpec;
+    use bns_partition::{MetisLikePartitioner, Partitioner, RandomPartitioner};
+
+    fn small_ds() -> Arc<Dataset> {
+        Arc::new(SyntheticSpec::reddit_sim().with_nodes(600).generate(3))
+    }
+
+    #[test]
+    fn trains_and_reports() {
+        let ds = small_ds();
+        let part = MetisLikePartitioner::default().partition(&ds.graph, 3, 0);
+        let cfg = TrainConfig {
+            epochs: 8,
+            eval_every: 4,
+            hidden: vec![24],
+            ..TrainConfig::quick_test()
+        };
+        let run = train(&ds, &part, &cfg);
+        assert_eq!(run.epochs.len(), 8);
+        assert!(run.epochs[3].val_score.is_some());
+        assert!(run.epochs[0].val_score.is_none());
+        assert!(run.final_test > 0.0);
+        // Loss decreases over training.
+        assert!(
+            run.epochs.last().unwrap().loss < run.epochs[0].loss,
+            "loss {} -> {}",
+            run.epochs[0].loss,
+            run.epochs.last().unwrap().loss
+        );
+    }
+
+    #[test]
+    fn learns_the_task_with_p1() {
+        let ds = small_ds();
+        let part = RandomPartitioner.partition(&ds.graph, 2, 1);
+        let cfg = TrainConfig {
+            epochs: 60,
+            hidden: vec![32],
+            lr: 0.01,
+            ..TrainConfig::quick_test()
+        };
+        let run = train(&ds, &part, &cfg);
+        // 16-class task: well above chance.
+        assert!(run.final_test > 0.5, "test acc {}", run.final_test);
+    }
+
+    #[test]
+    fn sampling_reduces_traffic_proportionally() {
+        let ds = small_ds();
+        let part = RandomPartitioner.partition(&ds.graph, 3, 2);
+        let mut boundary_bytes = Vec::new();
+        for p in [1.0, 0.5, 0.1] {
+            let cfg = TrainConfig {
+                epochs: 4,
+                sampling: BoundarySampling::Bns { p },
+                ..TrainConfig::quick_test()
+            };
+            let run = train(&ds, &part, &cfg);
+            // Use epoch 1..: epoch 0 includes no eval traffic either; all
+            // comparable. Skip eval epochs (last) to compare training comm.
+            let bytes: u64 = run.epochs[..3]
+                .iter()
+                .flat_map(|e| e.traffic_per_rank.iter())
+                .map(|t| t.bytes(TrafficClass::Boundary))
+                .sum();
+            boundary_bytes.push(bytes as f64);
+        }
+        let r_half = boundary_bytes[1] / boundary_bytes[0];
+        let r_tenth = boundary_bytes[2] / boundary_bytes[0];
+        assert!((r_half - 0.5).abs() < 0.12, "p=0.5 ratio {r_half}");
+        assert!((r_tenth - 0.1).abs() < 0.06, "p=0.1 ratio {r_tenth}");
+    }
+
+    #[test]
+    fn p_zero_sends_no_boundary_traffic() {
+        let ds = small_ds();
+        let part = RandomPartitioner.partition(&ds.graph, 2, 3);
+        let cfg = TrainConfig {
+            epochs: 3,
+            sampling: BoundarySampling::Bns { p: 0.0 },
+            eval_every: 0,
+            ..TrainConfig::quick_test()
+        };
+        let run = train(&ds, &part, &cfg);
+        // All epochs except the final eval epoch move zero boundary bytes.
+        let bytes: u64 = run.epochs[..2]
+            .iter()
+            .flat_map(|e| e.traffic_per_rank.iter())
+            .map(|t| t.bytes(TrafficClass::Boundary))
+            .sum();
+        assert_eq!(bytes, 0);
+    }
+
+    #[test]
+    fn extracted_model_matches_engine_eval() {
+        let ds = small_ds();
+        let part = RandomPartitioner.partition(&ds.graph, 3, 4);
+        let cfg = TrainConfig {
+            epochs: 15,
+            hidden: vec![24],
+            ..TrainConfig::quick_test()
+        };
+        let run = train(&ds, &part, &cfg);
+        let (val, test) = run.model.evaluate(&ds);
+        // The engine's final eval runs the same model over the same
+        // full topology; scores must agree exactly up to f32 summation
+        // order in the aggregation.
+        assert!((val - run.final_val).abs() < 0.01, "{val} vs {}", run.final_val);
+        assert!((test - run.final_test).abs() < 0.01, "{test} vs {}", run.final_test);
+    }
+
+    #[test]
+    fn best_by_val_picks_peak_epoch() {
+        let ds = small_ds();
+        let part = RandomPartitioner.partition(&ds.graph, 2, 9);
+        let cfg = TrainConfig {
+            epochs: 30,
+            eval_every: 5,
+            hidden: vec![24],
+            ..TrainConfig::quick_test()
+        };
+        let run = train(&ds, &part, &cfg);
+        let (best_val, _) = run.best_by_val();
+        assert!(best_val >= run.final_val - 1e-12);
+    }
+
+    #[test]
+    fn single_partition_works() {
+        let ds = small_ds();
+        let part = RandomPartitioner.partition(&ds.graph, 1, 0);
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..TrainConfig::quick_test()
+        };
+        let run = train(&ds, &part, &cfg);
+        assert_eq!(run.k, 1);
+        assert_eq!(run.boundary_per_rank, vec![0]);
+        assert!(run.final_test > 0.0);
+    }
+
+    #[test]
+    fn eq3_traffic_identity_at_p1() {
+        // At p = 1 the forward feature rows sent per layer equal the
+        // total number of boundary nodes (paper Eq. 3).
+        let ds = small_ds();
+        let part = RandomPartitioner.partition(&ds.graph, 3, 4);
+        let plan = PartitionPlan::build(&ds, &part);
+        let total_bd = plan.total_boundary();
+        let cfg = TrainConfig {
+            epochs: 1,
+            eval_every: 0,
+            hidden: vec![8],
+            dropout: 0.0,
+            ..TrainConfig::quick_test()
+        };
+        let run = train(&ds, &part, &cfg);
+        // Per-epoch training traffic (eval traffic is excluded from the
+        // per-epoch stats):
+        //   train fwd: L layers × Σ n_bd × d_l (layer input dims)
+        //   train bwd: the same rows as gradients
+        let d0 = ds.feat_dim();
+        let d1 = 8usize;
+        let per_pass_fwd = total_bd * d0 + total_bd * d1; // layer inputs
+        let per_pass_bwd = per_pass_fwd;
+        let expect_floats = per_pass_fwd + per_pass_bwd;
+        let got: u64 = run.epochs[0]
+            .traffic_per_rank
+            .iter()
+            .map(|t| t.bytes(TrafficClass::Boundary))
+            .sum();
+        assert_eq!(got, expect_floats as u64 * 4);
+    }
+
+    /// The paper's premise: vanilla partition parallelism (p = 1) is
+    /// *exact* full-graph training. With dropout off and identical
+    /// seeds, the distributed engine must reproduce the single-rank
+    /// trainer's loss trajectory up to f32 reduction-order noise.
+    #[test]
+    fn p1_matches_fullgraph_training() {
+        use crate::fullgraph::{train_full, FullGraphConfig};
+        let ds = small_ds();
+        let cfg = TrainConfig {
+            epochs: 6,
+            hidden: vec![16],
+            dropout: 0.0,
+            lr: 0.01,
+            sampling: BoundarySampling::Bns { p: 1.0 },
+            eval_every: 0,
+            seed: 42,
+            arch: ModelArch::Sage,
+            clip_norm: None,
+            pipeline: false,
+        };
+        let full = train_full(
+            &ds,
+            &FullGraphConfig {
+                hidden: vec![16],
+                dropout: 0.0,
+                lr: 0.01,
+                epochs: 6,
+                seed: 42,
+            },
+        );
+        for k in [2usize, 4] {
+            let part = MetisLikePartitioner::default().partition(&ds.graph, k, 0);
+            let run = train(&ds, &part, &cfg);
+            for (e, (a, b)) in run
+                .epochs
+                .iter()
+                .map(|s| s.loss)
+                .zip(full.losses.iter())
+                .enumerate()
+            {
+                assert!(
+                    (a - b).abs() < 2e-3 * b.abs().max(1.0),
+                    "k={k} epoch {e}: dist {a} vs full {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gcn_architecture_trains() {
+        let ds = small_ds();
+        let part = RandomPartitioner.partition(&ds.graph, 2, 6);
+        let cfg = TrainConfig {
+            arch: ModelArch::Gcn,
+            epochs: 25,
+            hidden: vec![24],
+            lr: 0.01,
+            sampling: BoundarySampling::Bns { p: 0.5 },
+            ..TrainConfig::quick_test()
+        };
+        let run = train(&ds, &part, &cfg);
+        assert!(run.epochs.last().unwrap().loss < run.epochs[0].loss);
+        assert!(run.final_test > 0.4, "GCN test acc {}", run.final_test);
+    }
+
+    #[test]
+    fn unscaled_bns_is_biased_but_trains() {
+        let ds = small_ds();
+        let part = RandomPartitioner.partition(&ds.graph, 3, 8);
+        let cfg = TrainConfig {
+            epochs: 25,
+            hidden: vec![24],
+            sampling: BoundarySampling::BnsUnscaled { p: 0.3 },
+            ..TrainConfig::quick_test()
+        };
+        let run = train(&ds, &part, &cfg);
+        assert!(run.final_test > 0.4, "unscaled acc {}", run.final_test);
+        // Traffic matches the scaled variant's rate.
+        let cfg2 = TrainConfig {
+            sampling: BoundarySampling::Bns { p: 0.3 },
+            ..cfg
+        };
+        let run2 = train(&ds, &part, &cfg2);
+        let b1 = run.total_boundary_bytes() as f64;
+        let b2 = run2.total_boundary_bytes() as f64;
+        assert!((b1 / b2 - 1.0).abs() < 0.15, "traffic {b1} vs {b2}");
+    }
+
+    #[test]
+    fn pipelined_training_converges() {
+        let ds = small_ds();
+        let part = MetisLikePartitioner::default().partition(&ds.graph, 3, 0);
+        let sync_cfg = TrainConfig {
+            epochs: 40,
+            hidden: vec![24],
+            ..TrainConfig::quick_test()
+        };
+        let pipe_cfg = TrainConfig {
+            pipeline: true,
+            ..sync_cfg.clone()
+        };
+        let sync = train(&ds, &part, &sync_cfg);
+        let pipe = train(&ds, &part, &pipe_cfg);
+        // Stale features/gradients cost some accuracy but must stay
+        // close to synchronous training (the PipeGCN premise).
+        assert!(
+            pipe.final_test > sync.final_test - 0.06,
+            "pipelined {} vs sync {}",
+            pipe.final_test,
+            sync.final_test
+        );
+        // First-epoch losses agree exactly (epoch 0 is synchronous).
+        assert!((pipe.epochs[0].loss - sync.epochs[0].loss).abs() < 1e-9);
+        // Later epochs diverge (staleness is real).
+        assert!(
+            (pipe.epochs[5].loss - sync.epochs[5].loss).abs() > 1e-9,
+            "staleness had no effect"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "static sampling")]
+    fn pipeline_rejects_dynamic_sampling() {
+        let ds = small_ds();
+        let part = RandomPartitioner.partition(&ds.graph, 2, 0);
+        let cfg = TrainConfig {
+            pipeline: true,
+            sampling: BoundarySampling::Bns { p: 0.5 },
+            ..TrainConfig::quick_test()
+        };
+        let _ = train(&ds, &part, &cfg);
+    }
+
+    #[test]
+    fn pipelined_simulated_time_overlaps_comm() {
+        let ds = small_ds();
+        let part = MetisLikePartitioner::default().partition(&ds.graph, 4, 0);
+        let cfg = TrainConfig {
+            epochs: 3,
+            pipeline: true,
+            ..TrainConfig::quick_test()
+        };
+        let run = train(&ds, &part, &cfg);
+        let cost = bns_comm::CostModel::pcie3();
+        let sim = run.avg_sim_epoch(&cost);
+        assert!(sim.pipelined_total() <= sim.total() + 1e-12);
+        assert!(sim.pipelined_total() >= sim.comp.max(sim.comm));
+    }
+
+    #[test]
+    fn gat_architecture_trains() {
+        let ds = small_ds();
+        let part = RandomPartitioner.partition(&ds.graph, 2, 5);
+        let cfg = TrainConfig {
+            arch: ModelArch::Gat,
+            epochs: 10,
+            hidden: vec![16],
+            lr: 0.01,
+            sampling: BoundarySampling::Bns { p: 0.5 },
+            ..TrainConfig::quick_test()
+        };
+        let run = train(&ds, &part, &cfg);
+        assert!(run.epochs.last().unwrap().loss < run.epochs[0].loss);
+        assert!(run.final_test > 0.2, "GAT test acc {}", run.final_test);
+    }
+
+    #[test]
+    fn memory_model_shrinks_with_p() {
+        let ds = small_ds();
+        let part = RandomPartitioner.partition(&ds.graph, 3, 6);
+        let mem_at = |p: f64| {
+            let cfg = TrainConfig {
+                epochs: 2,
+                sampling: BoundarySampling::Bns { p },
+                ..TrainConfig::quick_test()
+            };
+            let run = train(&ds, &part, &cfg);
+            *run.peak_mem_per_rank.iter().max().unwrap()
+        };
+        let m1 = mem_at(1.0);
+        let m01 = mem_at(0.1);
+        assert!(m01 < m1, "mem p=0.1 {m01} vs p=1 {m1}");
+    }
+
+    #[test]
+    fn multilabel_dataset_trains_with_f1() {
+        let ds = Arc::new(SyntheticSpec::yelp_sim().with_nodes(500).generate(4));
+        let part = RandomPartitioner.partition(&ds.graph, 2, 7);
+        // Multi-label BCE needs more steps before logits cross zero and
+        // micro-F1 lifts off (all-negative predictions score 0).
+        let cfg = TrainConfig {
+            epochs: 40,
+            hidden: vec![24],
+            lr: 0.03,
+            sampling: BoundarySampling::Bns { p: 0.5 },
+            ..TrainConfig::quick_test()
+        };
+        let run = train(&ds, &part, &cfg);
+        assert!(run.final_test > 0.25, "micro-F1 {}", run.final_test);
+    }
+}

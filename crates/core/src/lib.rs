@@ -1,0 +1,71 @@
+//! **BNS-GCN**: efficient full-graph training of graph convolutional
+//! networks with partition-parallelism and random boundary-node sampling.
+//!
+//! A from-scratch Rust reproduction of Wan et al., MLSys 2022. The
+//! original trains with one GPU per graph partition over PyTorch + DGL;
+//! here each partition is an OS thread exchanging messages through
+//! `bns-comm`, which preserves Algorithm 1 of the paper exactly (it is
+//! specified per-partition) while making every byte of traffic
+//! observable and every run deterministic.
+//!
+//! ## The method
+//!
+//! Partition-parallel GCN training must communicate the features of
+//! **boundary nodes** — nodes owned by other partitions that local nodes
+//! aggregate from — at *every layer, every epoch*. The paper shows the
+//! number of boundary nodes (not boundary edges!) determines both
+//! communication volume (its Eq. 3) and memory (its Eq. 4), and that
+//! boundary sets can be several times larger than the partitions
+//! themselves. BNS-GCN's fix: each epoch, every partition keeps a random
+//! fraction `p` of its boundary set, drops the rest, and rescales
+//! received features by `1/p` for unbiasedness.
+//!
+//! ## Crate layout
+//!
+//! * [`plan`] — [`plan::PartitionPlan`]: per-partition local graphs,
+//!   inner/boundary node maps, send/receive lists (Algorithm 1's
+//!   `V_i`, `B_i`, `S_{i,j}`).
+//! * [`sampling`] — boundary-node sampling (BNS) plus the paper's
+//!   ablation baselines: boundary-*edge* sampling (BES) and DropEdge.
+//! * [`engine`] — the partition-parallel trainer (Algorithm 1): one
+//!   thread per partition, per-layer feature/gradient exchange, gradient
+//!   all-reduce, full timing/traffic/memory instrumentation.
+//! * [`fullgraph`] — single-rank reference trainer (used to verify the
+//!   `p = 1` engine computes identical results).
+//! * [`minibatch`] — the sampling-based baselines of the paper's
+//!   Tables 4, 5, 11 and 12: neighbor sampling (GraphSAGE), FastGCN,
+//!   LADIES, ClusterGCN, GraphSAINT, VR-GCN.
+//! * [`variance`] — empirical feature-approximation variance (Table 2).
+//! * [`memory`] — the Eq. 4 memory model.
+//! * [`costsim`] — analytic throughput models for the ROC- and
+//!   CAGNET-style baselines of Fig. 4.
+//!
+//! # Example
+//!
+//! ```
+//! use bns_data::SyntheticSpec;
+//! use bns_gcn::engine::{train, ModelArch, TrainConfig};
+//! use bns_gcn::sampling::BoundarySampling;
+//! use bns_partition::{MetisLikePartitioner, Partitioner};
+//! use std::sync::Arc;
+//!
+//! let ds = Arc::new(SyntheticSpec::reddit_sim().with_nodes(600).generate(0));
+//! let part = MetisLikePartitioner::default().partition(&ds.graph, 2, 0);
+//! let cfg = TrainConfig {
+//!     hidden: vec![32],
+//!     epochs: 5,
+//!     sampling: BoundarySampling::Bns { p: 0.5 },
+//!     ..TrainConfig::quick_test()
+//! };
+//! let run = train(&ds, &part, &cfg);
+//! assert_eq!(run.epochs.len(), 5);
+//! ```
+
+pub mod costsim;
+pub mod engine;
+pub mod fullgraph;
+pub mod memory;
+pub mod minibatch;
+pub mod plan;
+pub mod sampling;
+pub mod variance;

@@ -1,0 +1,65 @@
+//! The paper's memory model (its Eq. 4) and the activation-accounting
+//! variant used for the Fig. 6 / Fig. 8 memory experiments.
+
+/// The paper's Eq. 4 per-layer memory for a GraphSAGE mean-aggregator
+/// layer: `Mem = (3·n_in + n_bd) · d` feature elements — the input rows
+/// for all local nodes, the aggregated features and the outputs for the
+/// inner nodes. Returned in bytes (`f32` elements).
+pub fn eq4_layer_bytes(n_in: usize, n_bd: usize, d: usize) -> u64 {
+    ((3 * n_in + n_bd) * d) as u64 * 4
+}
+
+/// Activation memory one rank holds while training one epoch with the
+/// given layer dimensions (`dims[0]` = input features, last = classes):
+/// for each layer, the cached input (`n_act x d_in`), the aggregate
+/// (`n_in x d_in`), pre-activation and output (`n_in x d_out`), plus a
+/// dropout mask when `dropout > 0`. This is what shrinks when boundary
+/// sampling shrinks `n_act = n_in + n_selected`.
+pub fn epoch_activation_bytes(n_in: usize, n_selected: usize, dims: &[usize], dropout: bool) -> u64 {
+    assert!(dims.len() >= 2, "need at least input and output dims");
+    let n_act = n_in + n_selected;
+    let mut total = 0u64;
+    for l in 0..dims.len() - 1 {
+        let d_in = dims[l] as u64;
+        let d_out = dims[l + 1] as u64;
+        let mut layer = n_act as u64 * d_in // cached h_full
+            + n_in as u64 * d_in            // aggregate z
+            + 2 * n_in as u64 * d_out; // pre-activation + output
+        if dropout {
+            layer += n_act as u64 * d_in; // mask
+        }
+        total += layer * 4;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq4_matches_paper_formula() {
+        // (3·100 + 50) · 8 · 4 bytes
+        assert_eq!(eq4_layer_bytes(100, 50, 8), 350 * 8 * 4);
+    }
+
+    #[test]
+    fn memory_shrinks_with_fewer_boundary_nodes() {
+        let full = epoch_activation_bytes(1000, 5000, &[64, 32, 16], true);
+        let sampled = epoch_activation_bytes(1000, 500, &[64, 32, 16], true);
+        let isolated = epoch_activation_bytes(1000, 0, &[64, 32, 16], true);
+        assert!(sampled < full);
+        assert!(isolated < sampled);
+        // Reduction is sub-linear in p: inner-node terms are fixed, as
+        // the paper notes for Fig. 6.
+        let ratio = sampled as f64 / full as f64;
+        assert!(ratio > 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn dropout_adds_mask_memory() {
+        let with_mask = epoch_activation_bytes(10, 5, &[4, 2], true);
+        let without = epoch_activation_bytes(10, 5, &[4, 2], false);
+        assert!(with_mask > without);
+    }
+}

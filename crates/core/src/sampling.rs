@@ -1,0 +1,437 @@
+//! Per-epoch boundary sampling: the BNS method itself plus the paper's
+//! edge-sampling ablation baselines (Table 9).
+
+use crate::plan::LocalPartition;
+use bns_graph::{CsrGraph, GraphBuilder};
+use bns_tensor::SeededRng;
+
+/// The sampling strategy applied every epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundarySampling {
+    /// **Boundary Node Sampling** (the paper's method): each partition
+    /// independently keeps each of its boundary nodes with probability
+    /// `p`; received features are rescaled by `1/p` and the mean
+    /// aggregator normalizes by *full-graph* degree, making the
+    /// aggregate an unbiased estimator of the full-graph aggregate.
+    /// `p = 1` is unsampled vanilla partition parallelism; `p = 0` is
+    /// fully isolated training.
+    Bns {
+        /// Keep probability in `[0, 1]`.
+        p: f64,
+    },
+    /// **Boundary Edge Sampling** (ablation): keep each *cut edge* with
+    /// probability `keep`; a boundary node must still be communicated if
+    /// *any* of its cut edges survives — the reason the paper finds edge
+    /// sampling ineffective. Aggregation normalizes by the surviving
+    /// local degree.
+    BoundaryEdge {
+        /// Per-cut-edge keep probability.
+        keep: f64,
+    },
+    /// **DropEdge** (ablation): keep each edge of the whole graph
+    /// (inner-inner included) with probability `keep`; communication is
+    /// required for boundary nodes with a surviving cut edge.
+    DropEdge {
+        /// Per-edge keep probability.
+        keep: f64,
+    },
+    /// **BNS without the `1/p` rescale** (ablation, not in the paper):
+    /// boundary nodes are sampled like [`BoundarySampling::Bns`] but
+    /// received features are *not* rescaled and the mean normalizes
+    /// over locally-present neighbors only — a biased estimator. Used
+    /// to demonstrate that the unbiased rescale is load-bearing.
+    BnsUnscaled {
+        /// Keep probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+impl BoundarySampling {
+    /// The `1/p` rescale factor applied to received boundary features.
+    pub fn feature_scale(&self) -> f32 {
+        match *self {
+            BoundarySampling::Bns { p } if p > 0.0 => (1.0 / p) as f32,
+            _ => 1.0,
+        }
+    }
+
+    /// The sampling rate `p`, when the strategy has one.
+    pub fn rate(&self) -> Option<f64> {
+        match *self {
+            BoundarySampling::Bns { p } | BoundarySampling::BnsUnscaled { p } => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Whether the epoch topology is identical every epoch (no
+    /// resampling needed) — true for `p = 1` and `p = 0`, which is why
+    /// the paper reports 0% sampling overhead for those (Table 12).
+    pub fn is_static(&self) -> bool {
+        match *self {
+            BoundarySampling::Bns { p } | BoundarySampling::BnsUnscaled { p } => {
+                p <= 0.0 || p >= 1.0
+            }
+            BoundarySampling::BoundaryEdge { keep } | BoundarySampling::DropEdge { keep } => {
+                keep >= 1.0
+            }
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            BoundarySampling::Bns { p } => format!("BNS(p={p})"),
+            BoundarySampling::BnsUnscaled { p } => format!("BNS-unscaled(p={p})"),
+            BoundarySampling::BoundaryEdge { keep } => format!("BES(keep={keep})"),
+            BoundarySampling::DropEdge { keep } => format!("DropEdge(keep={keep})"),
+        }
+    }
+}
+
+/// The sampled topology one partition trains on for one epoch
+/// (Algorithm 1 line 5: the node-induced subgraph of `V_i ∪ U_i`).
+#[derive(Debug, Clone)]
+pub struct EpochTopology {
+    /// Positions (into the partition's boundary list) of the selected
+    /// boundary nodes `U_i`, ascending.
+    pub selected: Vec<usize>,
+    /// The epoch graph: `n_in + selected.len()` local nodes; only edges
+    /// incident to inner nodes are materialized.
+    pub graph: CsrGraph,
+    /// Aggregation normalizer per inner node.
+    pub row_scale: Vec<f32>,
+    /// GCN symmetric normalizer `1/sqrt(deg+1)` for every *epoch-local*
+    /// row (inner then selected boundary), by full-graph degree — used
+    /// when the engine trains the plain-GCN architecture.
+    pub gcn_scale: Vec<f32>,
+    /// Rescale factor for received boundary features (`1/p` under BNS).
+    pub feature_scale: f32,
+}
+
+/// Deterministic symmetric edge-keep decision, shared by the two
+/// partitions incident to a cut edge *without communication*: both
+/// evaluate the same hash of `(seed, epoch, min_id, max_id)`.
+pub fn edge_kept(seed: u64, epoch: usize, gu: usize, gv: usize, keep: f64) -> bool {
+    if keep >= 1.0 {
+        return true;
+    }
+    if keep <= 0.0 {
+        return false;
+    }
+    let (a, b) = if gu < gv { (gu, gv) } else { (gv, gu) };
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(epoch as u64)
+        .wrapping_add((a as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((b as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z as f64 / u64::MAX as f64) < keep
+}
+
+/// Builds the epoch topology for one partition.
+///
+/// `rng` drives the *node* selection (receiver-side, independent per
+/// partition, as in Algorithm 1 line 4); `edge_seed` drives the
+/// *symmetric* edge-keep hash for the edge-sampling baselines.
+pub fn build_epoch_topology(
+    lp: &LocalPartition,
+    sampling: &BoundarySampling,
+    epoch: usize,
+    edge_seed: u64,
+    rng: &mut SeededRng,
+) -> EpochTopology {
+    let n_in = lp.n_inner();
+    let n_bd = lp.n_boundary();
+
+    // --- Select boundary nodes ---
+    let (selected, edge_filtered): (Vec<usize>, bool) = match *sampling {
+        BoundarySampling::Bns { p } | BoundarySampling::BnsUnscaled { p } => {
+            let sel = if p >= 1.0 {
+                (0..n_bd).collect()
+            } else if p <= 0.0 {
+                Vec::new()
+            } else {
+                (0..n_bd).filter(|_| rng.bernoulli(p)).collect()
+            };
+            (sel, false)
+        }
+        BoundarySampling::BoundaryEdge { keep } | BoundarySampling::DropEdge { keep } => {
+            // A boundary node stays iff at least one of its cut edges
+            // survives the symmetric hash.
+            let sel = (0..n_bd)
+                .filter(|&pos| {
+                    let gb = lp.boundary[pos];
+                    lp.local_graph
+                        .neighbors(n_in + pos)
+                        .iter()
+                        .filter(|&&x| (x as usize) < n_in)
+                        .any(|&x| edge_kept(edge_seed, epoch, gb, lp.inner[x as usize], keep))
+                })
+                .collect();
+            (sel, true)
+        }
+    };
+    let drop_inner_edges = matches!(sampling, BoundarySampling::DropEdge { .. });
+
+    // --- Remap: old local id -> epoch id ---
+    let mut bd_remap = vec![usize::MAX; n_bd];
+    for (new_idx, &pos) in selected.iter().enumerate() {
+        bd_remap[pos] = n_in + new_idx;
+    }
+
+    // --- Build the epoch graph ---
+    let keep_rate = match *sampling {
+        BoundarySampling::BoundaryEdge { keep } | BoundarySampling::DropEdge { keep } => keep,
+        BoundarySampling::Bns { .. } | BoundarySampling::BnsUnscaled { .. } => 1.0,
+    };
+    let mut b = GraphBuilder::new(n_in + selected.len());
+    for v in 0..n_in {
+        for &nb in lp.local_graph.neighbors(v) {
+            let nb = nb as usize;
+            if nb < n_in {
+                if nb < v {
+                    continue; // count each inner edge once
+                }
+                let kept = if drop_inner_edges {
+                    edge_kept(edge_seed, epoch, lp.inner[v], lp.inner[nb], keep_rate)
+                } else {
+                    true
+                };
+                if kept {
+                    b.add_edge(v, nb);
+                }
+            } else {
+                let pos = nb - n_in;
+                let new_id = bd_remap[pos];
+                if new_id == usize::MAX {
+                    continue;
+                }
+                let kept = if edge_filtered {
+                    edge_kept(edge_seed, epoch, lp.inner[v], lp.boundary[pos], keep_rate)
+                } else {
+                    true
+                };
+                if kept {
+                    b.add_edge(v, new_id);
+                }
+            }
+        }
+    }
+    let graph = b.build();
+
+    // --- Aggregation normalizers ---
+    let row_scale: Vec<f32> = match sampling {
+        // Unbiased full-graph mean: normalize by the full degree; the
+        // engine separately multiplies received features by 1/p.
+        BoundarySampling::Bns { .. } => lp.inner_scale.clone(),
+        // Edge samplers renormalize over surviving neighbors (DropEdge
+        // convention).
+        _ => (0..n_in)
+            .map(|v| 1.0 / graph.degree(v).max(1) as f32)
+            .collect(),
+    };
+
+    let mut gcn_scale = lp.gcn_scale[..n_in].to_vec();
+    gcn_scale.extend(selected.iter().map(|&pos| lp.gcn_scale[n_in + pos]));
+
+    EpochTopology {
+        selected,
+        graph,
+        row_scale,
+        gcn_scale,
+        feature_scale: sampling.feature_scale(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PartitionPlan;
+    use bns_data::SyntheticSpec;
+    use bns_partition::{Partitioner, RandomPartitioner};
+    use bns_tensor::Matrix;
+
+    fn plan() -> PartitionPlan {
+        let ds = SyntheticSpec::reddit_sim().with_nodes(400).generate(11);
+        let part = RandomPartitioner.partition(&ds.graph, 3, 1);
+        PartitionPlan::build(&ds, &part)
+    }
+
+    #[test]
+    fn p_one_selects_everything() {
+        let plan = plan();
+        let lp = &plan.parts[0];
+        let mut rng = SeededRng::new(0);
+        let t = build_epoch_topology(lp, &BoundarySampling::Bns { p: 1.0 }, 0, 0, &mut rng);
+        assert_eq!(t.selected.len(), lp.n_boundary());
+        assert_eq!(t.graph.num_nodes(), lp.n_inner() + lp.n_boundary());
+        assert_eq!(t.feature_scale, 1.0);
+        // Inner nodes keep their full-graph degree (no bd-bd edges are
+        // needed, but all inner-incident edges are present).
+        for v in 0..lp.n_inner() {
+            assert_eq!(t.graph.degree(v), lp.local_graph.degree(v));
+        }
+    }
+
+    #[test]
+    fn p_zero_is_isolated() {
+        let plan = plan();
+        let lp = &plan.parts[1];
+        let mut rng = SeededRng::new(0);
+        let t = build_epoch_topology(lp, &BoundarySampling::Bns { p: 0.0 }, 0, 0, &mut rng);
+        assert!(t.selected.is_empty());
+        assert_eq!(t.graph.num_nodes(), lp.n_inner());
+    }
+
+    #[test]
+    fn fractional_p_selects_roughly_p() {
+        let plan = plan();
+        let lp = &plan.parts[2];
+        let mut rng = SeededRng::new(5);
+        let mut total = 0usize;
+        let reps = 200;
+        for e in 0..reps {
+            let t = build_epoch_topology(lp, &BoundarySampling::Bns { p: 0.3 }, e, 0, &mut rng);
+            total += t.selected.len();
+        }
+        let frac = total as f64 / (reps * lp.n_boundary()) as f64;
+        assert!((frac - 0.3).abs() < 0.03, "selected fraction {frac}");
+    }
+
+    /// The central unbiasedness property: E[sampled aggregate] equals the
+    /// exact aggregate when boundary features are scaled by 1/p and the
+    /// mean uses full-graph degrees.
+    #[test]
+    fn bns_aggregate_is_unbiased()  {
+        let plan = plan();
+        let lp = &plan.parts[0];
+        let n_local = lp.n_inner() + lp.n_boundary();
+        let mut rng = SeededRng::new(42);
+        let h = Matrix::random_normal(n_local, 3, 0.0, 1.0, &mut rng);
+        // Exact aggregate with all boundary nodes.
+        let exact = bns_nn::aggregate::scaled_sum_aggregate(
+            &lp.local_graph,
+            &h,
+            lp.n_inner(),
+            &lp.inner_scale,
+        );
+        let p = 0.5;
+        let trials = 600;
+        let mut mean = Matrix::zeros(lp.n_inner(), 3);
+        for e in 0..trials {
+            let t = build_epoch_topology(lp, &BoundarySampling::Bns { p }, e, 0, &mut rng);
+            // Assemble epoch features: inner rows + scaled selected rows.
+            let mut rows: Vec<usize> = (0..lp.n_inner()).collect();
+            rows.extend(t.selected.iter().map(|&pos| lp.n_inner() + pos));
+            let mut h_epoch = h.gather_rows(&rows);
+            for r in lp.n_inner()..h_epoch.rows() {
+                for x in h_epoch.row_mut(r) {
+                    *x *= t.feature_scale;
+                }
+            }
+            let z = bns_nn::aggregate::scaled_sum_aggregate(
+                &t.graph,
+                &h_epoch,
+                lp.n_inner(),
+                &t.row_scale,
+            );
+            mean.axpy(1.0, &z);
+        }
+        mean.scale(1.0 / trials as f32);
+        let diff = mean.max_abs_diff(&exact);
+        assert!(diff < 0.2, "bias too large: {diff}");
+    }
+
+    #[test]
+    fn edge_keep_is_symmetric_and_seeded() {
+        assert_eq!(
+            edge_kept(7, 3, 10, 20, 0.5),
+            edge_kept(7, 3, 20, 10, 0.5)
+        );
+        assert!(edge_kept(0, 0, 1, 2, 1.0));
+        assert!(!edge_kept(0, 0, 1, 2, 0.0));
+        // Rate sanity over many edges.
+        let kept = (0..10_000)
+            .filter(|&i| edge_kept(9, 1, i, i + 1, 0.25))
+            .count();
+        assert!((kept as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn bes_preserves_inner_edges() {
+        let plan = plan();
+        let lp = &plan.parts[0];
+        let mut rng = SeededRng::new(1);
+        let t = build_epoch_topology(
+            lp,
+            &BoundarySampling::BoundaryEdge { keep: 0.2 },
+            0,
+            99,
+            &mut rng,
+        );
+        // All inner-inner edges survive under BES.
+        for v in 0..lp.n_inner() {
+            let full_inner: usize = lp
+                .local_graph
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| (u as usize) < lp.n_inner())
+                .count();
+            let epoch_inner: usize = t
+                .graph
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| (u as usize) < lp.n_inner())
+                .count();
+            assert_eq!(full_inner, epoch_inner, "inner edges of {v} changed");
+        }
+        // And strictly fewer boundary nodes are needed.
+        assert!(t.selected.len() < lp.n_boundary());
+    }
+
+    #[test]
+    fn dropedge_drops_inner_edges_too() {
+        let plan = plan();
+        let lp = &plan.parts[0];
+        let mut rng = SeededRng::new(1);
+        let t = build_epoch_topology(
+            lp,
+            &BoundarySampling::DropEdge { keep: 0.5 },
+            0,
+            123,
+            &mut rng,
+        );
+        let full_inner: usize = (0..lp.n_inner())
+            .map(|v| {
+                lp.local_graph
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| (u as usize) < lp.n_inner())
+                    .count()
+            })
+            .sum();
+        let epoch_inner: usize = (0..lp.n_inner())
+            .map(|v| {
+                t.graph
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| (u as usize) < lp.n_inner())
+                    .count()
+            })
+            .sum();
+        assert!(
+            epoch_inner < full_inner,
+            "DropEdge kept all inner edges ({epoch_inner}/{full_inner})"
+        );
+    }
+
+    #[test]
+    fn static_detection() {
+        assert!(BoundarySampling::Bns { p: 1.0 }.is_static());
+        assert!(BoundarySampling::Bns { p: 0.0 }.is_static());
+        assert!(!BoundarySampling::Bns { p: 0.5 }.is_static());
+        assert!(!BoundarySampling::DropEdge { keep: 0.9 }.is_static());
+    }
+}

@@ -1,0 +1,275 @@
+//! Empirical feature-approximation variance (the paper's Table 2 and
+//! Appendix A).
+//!
+//! The paper bounds the variance of the one-layer embedding
+//! approximation `Z̃` for BNS-GCN at `O(|B_i| γ² / s_ℓ)` versus
+//! `O(|N_i| γ² / s_ℓ)` for LADIES, `O(|V| γ² / s_ℓ)` for FastGCN and
+//! `O(D |V_i| γ² / s_n)` for GraphSAGE, with `B_i ⊆ N_i ⊆ V`. This
+//! module measures those variances empirically under a *fixed sampling
+//! budget* so the ordering can be verified on real partition plans.
+
+use crate::plan::LocalPartition;
+use bns_nn::aggregate::scaled_sum_aggregate;
+use bns_tensor::{Matrix, SeededRng};
+
+/// Which estimator to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarianceMethod {
+    /// BNS: sample boundary nodes only, rescale by `1/p`.
+    Bns,
+    /// FastGCN-style: sample the same *number* of support nodes from the
+    /// whole local node set (uniformly), rescale by inclusion
+    /// probability.
+    FastGcnStyle,
+    /// LADIES-style: sample support nodes from the layer's neighbor set
+    /// (inner ∪ boundary restricted to actual neighbors), rescale.
+    LadiesStyle,
+    /// GraphSAGE-style: per-target-node neighbor sampling with a fanout
+    /// chosen to match the same expected support size.
+    SageStyle,
+}
+
+impl VarianceMethod {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VarianceMethod::Bns => "BNS-GCN",
+            VarianceMethod::FastGcnStyle => "FastGCN",
+            VarianceMethod::LadiesStyle => "LADIES",
+            VarianceMethod::SageStyle => "GraphSAGE",
+        }
+    }
+}
+
+/// Result of a variance measurement.
+#[derive(Debug, Clone)]
+pub struct VarianceReport {
+    /// Method measured.
+    pub method: VarianceMethod,
+    /// Average per-node squared error of the approximate aggregate,
+    /// `E‖Z̃ - Z‖²_F / n_in`.
+    pub mean_sq_error: f64,
+    /// Expected number of sampled support nodes.
+    pub support_size: f64,
+}
+
+/// Measures the empirical variance of a one-layer aggregate under the
+/// given method, holding the expected support size equal to
+/// `n_in + p · |B_i|` (the budget BNS uses).
+///
+/// `h` must provide a feature row for every local node of `lp`;
+/// `global_n` is `|V|`, the full graph's node count — FastGCN samples
+/// its support from all of `V` (which is exactly why its variance bound
+/// carries the `|V|` factor in the paper's Table 2).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1]` or `h` is too small.
+pub fn measure_variance(
+    lp: &LocalPartition,
+    global_n: usize,
+    h: &Matrix,
+    method: VarianceMethod,
+    p: f64,
+    trials: usize,
+    rng: &mut SeededRng,
+) -> VarianceReport {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+    let n_in = lp.n_inner();
+    let n_bd = lp.n_boundary();
+    let n_local = n_in + n_bd;
+    assert!(h.rows() >= n_local, "feature matrix too small");
+    let g = &lp.local_graph;
+
+    // Exact aggregate (full boundary present).
+    let exact = scaled_sum_aggregate(g, h, n_in, &lp.inner_scale);
+
+    let budget = (p * n_bd as f64).max(1.0);
+    let mut total_sq = 0.0f64;
+    for _ in 0..trials {
+        // Per-trial support-inclusion weights: w[u] = 1/P(u included); 0 if dropped.
+        let mut weight = vec![0.0f32; n_local];
+        match method {
+            VarianceMethod::Bns => {
+                for w in weight.iter_mut().take(n_in) {
+                    *w = 1.0; // inner nodes always present
+                }
+                for u in n_in..n_local {
+                    if rng.bernoulli(p) {
+                        weight[u] = (1.0 / p) as f32;
+                    }
+                }
+            }
+            VarianceMethod::FastGcnStyle => {
+                // FastGCN draws its support uniformly from the *global*
+                // node set V with the same total budget; a local node is
+                // included with probability (n_in + budget)/|V| — the
+                // |V| factor in the paper's Table 2 bound. Samples that
+                // land outside this partition's neighborhood contribute
+                // nothing and are wasted.
+                let q = ((n_in as f64 + budget) / global_n as f64).min(1.0);
+                for w in weight.iter_mut() {
+                    if rng.bernoulli(q) {
+                        *w = (1.0 / q) as f32;
+                    }
+                }
+            }
+            VarianceMethod::LadiesStyle => {
+                // Support restricted to the actual neighbor set of the
+                // targets (all local nodes with an inner neighbor).
+                let mut in_nbr = vec![false; n_local];
+                for v in 0..n_in {
+                    for &u in g.neighbors(v) {
+                        in_nbr[u as usize] = true;
+                    }
+                }
+                let nbr_count = in_nbr.iter().filter(|&&b| b).count().max(1);
+                let q = ((n_in as f64 + budget) / nbr_count as f64).min(1.0);
+                for u in 0..n_local {
+                    if in_nbr[u] && rng.bernoulli(q) {
+                        weight[u] = (1.0 / q) as f32;
+                    }
+                }
+            }
+            VarianceMethod::SageStyle => {
+                // Handled per-target below (sampling is per node).
+            }
+        }
+
+        let approx = if method == VarianceMethod::SageStyle {
+            sage_style_trial(lp, h, p, rng)
+        } else {
+            // Weighted aggregate: scale rows by weight, reuse the kernel.
+            let mut hw = h.slice_rows(0, n_local);
+            for u in 0..n_local {
+                let w = weight[u];
+                for x in hw.row_mut(u) {
+                    *x *= w;
+                }
+            }
+            scaled_sum_aggregate(g, &hw, n_in, &lp.inner_scale)
+        };
+        let diff = &approx - &exact;
+        total_sq += diff.frobenius_norm_sq() as f64;
+    }
+    VarianceReport {
+        method,
+        mean_sq_error: total_sq / (trials as f64 * n_in as f64),
+        support_size: n_in as f64 + budget,
+    }
+}
+
+/// One GraphSAGE-style trial: every target samples `ceil(p·deg)`
+/// neighbors **with replacement** (the paper notes resampling duplicates
+/// is one of node sampling's weaknesses) and averages them.
+fn sage_style_trial(lp: &LocalPartition, h: &Matrix, p: f64, rng: &mut SeededRng) -> Matrix {
+    let n_in = lp.n_inner();
+    let g = &lp.local_graph;
+    let d = h.cols();
+    let mut out = Matrix::zeros(n_in, d);
+    for v in 0..n_in {
+        let nbrs = g.neighbors(v);
+        if nbrs.is_empty() {
+            continue;
+        }
+        let fanout = ((p * nbrs.len() as f64).ceil() as usize).max(1);
+        let full_deg = (1.0 / lp.inner_scale[v]) as usize;
+        let row = out.row_mut(v);
+        for _ in 0..fanout {
+            let u = nbrs[rng.usize_below(nbrs.len())] as usize;
+            let hr = h.row(u);
+            for (o, &x) in row.iter_mut().zip(hr) {
+                *o += x;
+            }
+        }
+        // Unbiased w.r.t. the local mean: sum/fanout · (deg_local/deg_full)
+        let scale = nbrs.len() as f32 / (fanout as f32 * full_deg.max(1) as f32);
+        for o in row.iter_mut() {
+            *o *= scale;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PartitionPlan;
+    use bns_data::SyntheticSpec;
+    use bns_partition::{MetisLikePartitioner, Partitioner};
+
+    // The Table 2 regime: a quality (METIS-like) partition, where
+    // boundary sets are small relative to the neighbor set.
+    fn setup() -> (PartitionPlan, Matrix, usize) {
+        let ds = SyntheticSpec::reddit_sim().with_nodes(800).generate(21);
+        let part = MetisLikePartitioner::default().partition(&ds.graph, 4, 2);
+        let plan = PartitionPlan::build(&ds, &part);
+        let n_local = plan.parts[0].n_inner() + plan.parts[0].n_boundary();
+        let mut rng = SeededRng::new(9);
+        let h = Matrix::random_normal(n_local, 8, 0.0, 1.0, &mut rng);
+        (plan, h, ds.num_nodes())
+    }
+
+    #[test]
+    fn bns_variance_shrinks_with_p() {
+        let (plan, h, n) = setup();
+        let lp = &plan.parts[0];
+        let mut rng = SeededRng::new(1);
+        let v_low =
+            measure_variance(lp, n, &h, VarianceMethod::Bns, 0.1, 60, &mut rng).mean_sq_error;
+        let v_high =
+            measure_variance(lp, n, &h, VarianceMethod::Bns, 0.8, 60, &mut rng).mean_sq_error;
+        assert!(
+            v_high < v_low,
+            "variance should shrink with p: p=.8 {v_high} vs p=.1 {v_low}"
+        );
+    }
+
+    #[test]
+    fn bns_beats_fastgcn_style_at_equal_budget() {
+        // The paper's Table 2 ordering: Var(BNS) < Var(FastGCN) because
+        // B_i ⊂ V and BNS never drops inner nodes.
+        let (plan, h, n) = setup();
+        let lp = &plan.parts[0];
+        let mut rng = SeededRng::new(2);
+        let bns = measure_variance(lp, n, &h, VarianceMethod::Bns, 0.3, 80, &mut rng);
+        let fast = measure_variance(lp, n, &h, VarianceMethod::FastGcnStyle, 0.3, 80, &mut rng);
+        assert!(
+            bns.mean_sq_error < fast.mean_sq_error,
+            "BNS {} vs FastGCN {}",
+            bns.mean_sq_error,
+            fast.mean_sq_error
+        );
+        // Budgets match by construction.
+        assert!((bns.support_size - fast.support_size).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ladies_between_bns_and_fastgcn() {
+        let (plan, h, n) = setup();
+        let lp = &plan.parts[0];
+        let mut rng = SeededRng::new(3);
+        let bns =
+            measure_variance(lp, n, &h, VarianceMethod::Bns, 0.3, 80, &mut rng).mean_sq_error;
+        let ladies = measure_variance(lp, n, &h, VarianceMethod::LadiesStyle, 0.3, 80, &mut rng)
+            .mean_sq_error;
+        let fast = measure_variance(lp, n, &h, VarianceMethod::FastGcnStyle, 0.3, 80, &mut rng)
+            .mean_sq_error;
+        assert!(bns < ladies, "BNS {bns} vs LADIES {ladies}");
+        assert!(ladies < fast, "LADIES {ladies} vs FastGCN {fast}");
+    }
+
+    #[test]
+    fn p_one_has_zero_variance() {
+        let (plan, h, n) = setup();
+        let lp = &plan.parts[1];
+        let mut rng = SeededRng::new(4);
+        let h1 = {
+            let n_local = lp.n_inner() + lp.n_boundary();
+            Matrix::random_normal(n_local, 8, 0.0, 1.0, &mut rng)
+        };
+        let _ = h;
+        let v = measure_variance(lp, n, &h1, VarianceMethod::Bns, 1.0, 10, &mut rng);
+        assert!(v.mean_sq_error < 1e-10, "p=1 variance {}", v.mean_sq_error);
+    }
+}

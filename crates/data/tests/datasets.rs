@@ -1,0 +1,127 @@
+//! Dataset-generation tests: every preset, determinism, statistical
+//! properties, and the custom-spec surface.
+
+use bns_data::{Labels, SplitKind, SyntheticSpec};
+use bns_graph::GraphStats;
+use proptest::prelude::*;
+
+fn presets() -> Vec<SyntheticSpec> {
+    vec![
+        SyntheticSpec::reddit_sim(),
+        SyntheticSpec::products_sim(),
+        SyntheticSpec::yelp_sim(),
+        SyntheticSpec::papers100m_sim(),
+    ]
+}
+
+/// Every preset generates a valid dataset at a reduced size.
+#[test]
+fn all_presets_generate_and_validate() {
+    for spec in presets() {
+        let ds = spec.with_nodes(1_200).generate(7);
+        assert!(ds.validate().is_ok(), "{} invalid", ds.name);
+        assert_eq!(ds.num_nodes(), 1_200);
+        assert!(ds.graph.num_edges() > 1_200, "{} too sparse", ds.name);
+        let stats = GraphStats::of(&ds.graph);
+        assert!(
+            stats.degrees.max > 4 * stats.degrees.median.max(1),
+            "{}: no heavy tail (max {} median {})",
+            ds.name,
+            stats.degrees.max,
+            stats.degrees.median
+        );
+    }
+}
+
+/// Split fractions match the paper's Table 3 within rounding.
+#[test]
+fn split_fractions_match_paper() {
+    let cases = [
+        (SyntheticSpec::reddit_sim(), 0.66, 0.10, 0.24),
+        (SyntheticSpec::products_sim(), 0.08, 0.02, 0.90),
+        (SyntheticSpec::yelp_sim(), 0.75, 0.10, 0.15),
+    ];
+    for (spec, ft, fv, fs) in cases {
+        let n = 2_000usize;
+        let ds = spec.with_nodes(n).generate(1);
+        let close = |got: usize, frac: f64| (got as f64 / n as f64 - frac).abs() < 0.01;
+        assert!(close(ds.train.len(), ft), "{} train", ds.name);
+        assert!(close(ds.val.len(), fv), "{} val", ds.name);
+        assert!(close(ds.test.len(), fs), "{} test", ds.name);
+    }
+}
+
+/// Label noise leaves most labels intact: accuracy of the observed vs
+/// planted labels is ~(1 - noise + noise/classes).
+#[test]
+fn label_noise_rate_is_calibrated() {
+    let mut spec = SyntheticSpec::reddit_sim().with_nodes(4_000);
+    spec.label_noise = 0.2;
+    spec.feature_corruption = 0.0;
+    // Regenerate without noise for ground truth.
+    let mut clean_spec = spec.clone();
+    clean_spec.label_noise = 0.0;
+    let noisy = spec.generate(9);
+    let clean = clean_spec.generate(9);
+    let (Labels::Single(a), Labels::Single(b)) = (&noisy.labels, &clean.labels) else {
+        panic!()
+    };
+    let same = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    let frac = same as f64 / a.len() as f64;
+    let expect = 0.8 + 0.2 / 16.0;
+    assert!((frac - expect).abs() < 0.03, "agreement {frac} vs {expect}");
+}
+
+/// The degree-rank split regime puts hubs in training.
+#[test]
+fn degree_rank_split_kind() {
+    let spec = SyntheticSpec::products_sim().with_nodes(2_000);
+    assert_eq!(spec.split_kind, SplitKind::DegreeRank);
+    let ds = spec.generate(2);
+    let train_mean: f64 = ds.train.iter().map(|&v| ds.graph.degree(v) as f64).sum::<f64>()
+        / ds.train.len() as f64;
+    let test_mean: f64 = ds.test.iter().map(|&v| ds.graph.degree(v) as f64).sum::<f64>()
+        / ds.test.len() as f64;
+    assert!(
+        train_mean > 3.0 * test_mean,
+        "train mean degree {train_mean} vs test {test_mean}"
+    );
+}
+
+/// Builder-style overrides compose.
+#[test]
+fn with_overrides_compose() {
+    let ds = SyntheticSpec::reddit_sim()
+        .with_nodes(500)
+        .with_feat_dim(10)
+        .with_classes(4)
+        .generate(3);
+    assert_eq!(ds.num_nodes(), 500);
+    assert_eq!(ds.feat_dim(), 10);
+    assert_eq!(ds.num_classes, 4);
+    assert!(ds.validate().is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Generation never produces invalid datasets for arbitrary small
+    /// sizes and seeds.
+    #[test]
+    fn generate_is_total(n in 50usize..400, seed in 0u64..1_000) {
+        let ds = SyntheticSpec::reddit_sim().with_nodes(n).generate(seed);
+        prop_assert!(ds.validate().is_ok());
+        prop_assert_eq!(ds.features.rows(), n);
+    }
+
+    /// Same seed, same dataset; different seed, different graph.
+    #[test]
+    fn seeding_behaviour(seed in 0u64..500) {
+        let a = SyntheticSpec::yelp_sim().with_nodes(300).generate(seed);
+        let b = SyntheticSpec::yelp_sim().with_nodes(300).generate(seed);
+        prop_assert_eq!(&a.graph, &b.graph);
+        prop_assert_eq!(&a.features, &b.features);
+        let c = SyntheticSpec::yelp_sim().with_nodes(300).generate(seed + 1);
+        prop_assert_ne!(&a.features, &c.features);
+    }
+}

@@ -1,0 +1,123 @@
+//! Classic graph algorithms used by tests, diagnostics and the
+//! experiment harness.
+
+use crate::CsrGraph;
+
+/// BFS hop distances from `source`; unreachable nodes get `usize::MAX`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds.
+pub fn bfs_distances(g: &CsrGraph, source: usize) -> Vec<usize> {
+    assert!(source < g.num_nodes(), "source out of bounds");
+    let mut dist = vec![usize::MAX; g.num_nodes()];
+    dist[source] = 0;
+    let mut queue = std::collections::VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The [k-core](https://en.wikipedia.org/wiki/Degeneracy_(graph_theory))
+/// membership: `true` for nodes that survive iterated removal of nodes
+/// with degree `< k`.
+pub fn k_core(g: &CsrGraph, k: usize) -> Vec<bool> {
+    let n = g.num_nodes();
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut alive = vec![true; n];
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..n).filter(|&v| deg[v] < k).collect();
+    for &v in &queue {
+        alive[v] = false;
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            let v = v as usize;
+            if alive[v] {
+                deg[v] -= 1;
+                if deg[v] < k {
+                    alive[v] = false;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    alive
+}
+
+/// Graph diameter lower bound via a double BFS sweep (exact on trees,
+/// a good estimate elsewhere). Returns `None` for disconnected or
+/// empty graphs.
+pub fn double_sweep_diameter(g: &CsrGraph) -> Option<usize> {
+    if g.num_nodes() == 0 {
+        return None;
+    }
+    let d0 = bfs_distances(g, 0);
+    let (far, d_far) = d0
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &d)| if d == usize::MAX { 0 } else { d })?;
+    if *d_far == usize::MAX || d0.contains(&usize::MAX) {
+        return None;
+    }
+    let d1 = bfs_distances(g, far);
+    d1.iter().copied().max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid, ring};
+    use crate::CsrGraph;
+
+    #[test]
+    fn bfs_on_ring() {
+        let g = ring(8);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = CsrGraph::from_edges(4, [(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn two_core_strips_pendants() {
+        // Triangle with a pendant chain.
+        let g = CsrGraph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+        let core = k_core(&g, 2);
+        assert_eq!(core, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn zero_core_keeps_everything() {
+        let g = ring(5);
+        assert!(k_core(&g, 0).iter().all(|&b| b));
+        assert!(k_core(&g, 2).iter().all(|&b| b));
+        assert!(k_core(&g, 3).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn diameter_of_grid() {
+        let g = grid(4, 3);
+        // Manhattan diameter = (4-1) + (3-1) = 5.
+        assert_eq!(double_sweep_diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (2, 3)]);
+        assert_eq!(double_sweep_diameter(&g), None);
+    }
+}

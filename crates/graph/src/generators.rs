@@ -1,0 +1,447 @@
+//! Synthetic graph generators.
+//!
+//! These produce the topology families the paper's datasets exhibit:
+//! power-law degree distributions ([`chung_lu`], [`rmat`],
+//! [`barabasi_albert`]) and community structure ([`dc_sbm`], the
+//! degree-corrected stochastic block model that `bns-data` uses to plant
+//! label-correlated communities). Simple regular families
+//! ([`ring`], [`grid`], [`erdos_renyi_m`]) support tests.
+
+use crate::{CsrGraph, GraphBuilder, WeightedSampler};
+use bns_tensor::SeededRng;
+
+/// A cycle on `n` nodes (`n >= 3`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> CsrGraph {
+    assert!(n >= 3, "ring requires n >= 3");
+    CsrGraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+}
+
+/// A `w x h` 4-neighbor grid.
+///
+/// # Panics
+///
+/// Panics if `w == 0 || h == 0`.
+pub fn grid(w: usize, h: usize) -> CsrGraph {
+    assert!(w > 0 && h > 0, "grid requires positive dimensions");
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if x + 1 < w {
+                b.add_edge(v, v + 1);
+            }
+            if y + 1 < h {
+                b.add_edge(v, v + w);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct uniform random edges.
+///
+/// Fewer than `m` edges may result only if `m` exceeds the number of
+/// possible edges, which panics instead.
+///
+/// # Panics
+///
+/// Panics if `m > n * (n - 1) / 2`.
+pub fn erdos_renyi_m(n: usize, m: usize, rng: &mut SeededRng) -> CsrGraph {
+    assert!(
+        m <= n.saturating_mul(n.saturating_sub(1)) / 2,
+        "too many edges requested"
+    );
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::new(n);
+    while seen.len() < m {
+        let u = rng.usize_below(n);
+        let v = rng.usize_below(n);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `m_per_node` existing nodes with probability proportional to degree.
+/// Yields a power-law degree distribution.
+///
+/// # Panics
+///
+/// Panics if `n <= m_per_node` or `m_per_node == 0`.
+pub fn barabasi_albert(n: usize, m_per_node: usize, rng: &mut SeededRng) -> CsrGraph {
+    assert!(m_per_node > 0 && n > m_per_node, "invalid BA parameters");
+    let mut b = GraphBuilder::new(n);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * n * m_per_node);
+    // Seed clique on the first m_per_node + 1 nodes.
+    for u in 0..=m_per_node {
+        for v in (u + 1)..=m_per_node {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m_per_node + 1)..n {
+        // BTreeSet keeps iteration deterministic (HashSet order varies by
+        // process, breaking seed reproducibility).
+        let mut targets = std::collections::BTreeSet::new();
+        while targets.len() < m_per_node {
+            let t = endpoints[rng.usize_below(endpoints.len())];
+            targets.insert(t);
+        }
+        for &t in &targets {
+            b.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Recursive-matrix (R-MAT) generator, the classic skewed-degree model.
+/// Produces `<= m` distinct edges on `2^scale` nodes (duplicates and
+/// self-loops are dropped).
+pub fn rmat(scale: u32, m: usize, rng: &mut SeededRng) -> CsrGraph {
+    let n = 1usize << scale;
+    // Standard Graph500 parameters.
+    let (a, b_, c) = (0.57, 0.19, 0.19);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r = rng.uniform() as f64;
+            if r < a {
+                // top-left quadrant: no bits set
+            } else if r < a + b_ {
+                v |= 1;
+            } else if r < a + b_ + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where each node
+/// connects to its `k_half` nearest neighbors on each side, with every
+/// edge rewired to a random endpoint with probability `beta`.
+///
+/// # Panics
+///
+/// Panics unless `n > 2 * k_half` and `0 <= beta <= 1`.
+pub fn watts_strogatz(n: usize, k_half: usize, beta: f64, rng: &mut SeededRng) -> CsrGraph {
+    assert!(k_half >= 1 && n > 2 * k_half, "invalid WS parameters");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for off in 1..=k_half {
+            let u = (v + off) % n;
+            if rng.bernoulli(beta) {
+                // Rewire to a random non-self endpoint.
+                let mut w = rng.usize_below(n);
+                while w == v {
+                    w = rng.usize_below(n);
+                }
+                b.add_edge(v, w);
+            } else {
+                b.add_edge(v, u);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Chung–Lu random graph with the given expected degrees: each of `m =
+/// sum(w)/2` edges picks both endpoints proportionally to `w`.
+///
+/// Duplicates/self-loops are dropped, so realized degrees are slightly
+/// below the targets for heavy nodes — the standard behaviour of this
+/// model.
+pub fn chung_lu(expected_degrees: &[f64], rng: &mut SeededRng) -> CsrGraph {
+    let n = expected_degrees.len();
+    let total: f64 = expected_degrees.iter().sum();
+    let m = (total / 2.0).round() as usize;
+    let sampler = WeightedSampler::new(expected_degrees);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..m {
+        let u = sampler.sample(rng);
+        let v = sampler.sample(rng);
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Parameters for [`dc_sbm`].
+#[derive(Debug, Clone)]
+pub struct DcSbmParams {
+    /// Block assignment per node; block ids must be dense `0..num_blocks`.
+    pub block_of: Vec<usize>,
+    /// Expected degree per node (e.g. power-law draws).
+    pub expected_degrees: Vec<f64>,
+    /// Probability that an edge stays within its source node's block
+    /// (`1.0` = fully assortative, `0.0` = fully random).
+    pub p_within: f64,
+}
+
+/// Degree-corrected stochastic block model, Chung–Lu flavour.
+///
+/// For each of `sum(deg)/2` edges: the source is drawn globally by degree
+/// weight; with probability `p_within` the target is drawn (by degree
+/// weight) from the source's block, otherwise from the whole graph. This
+/// yields power-law degrees *and* assortative community structure — the
+/// two properties the paper's datasets combine.
+///
+/// # Panics
+///
+/// Panics if the two vectors differ in length, `p_within` is outside
+/// `[0, 1]`, or a block has zero total weight.
+pub fn dc_sbm(params: &DcSbmParams, rng: &mut SeededRng) -> CsrGraph {
+    let DcSbmParams {
+        block_of,
+        expected_degrees,
+        p_within,
+    } = params;
+    assert_eq!(
+        block_of.len(),
+        expected_degrees.len(),
+        "dc_sbm: block/degree length mismatch"
+    );
+    assert!(
+        (0.0..=1.0).contains(p_within),
+        "dc_sbm: p_within must be in [0,1]"
+    );
+    let n = block_of.len();
+    let num_blocks = block_of.iter().copied().max().map_or(0, |b| b + 1);
+    // Per-block node lists and weight vectors for within-block draws.
+    let mut block_nodes: Vec<Vec<usize>> = vec![Vec::new(); num_blocks];
+    for (v, &bl) in block_of.iter().enumerate() {
+        block_nodes[bl].push(v);
+    }
+    let block_samplers: Vec<WeightedSampler> = block_nodes
+        .iter()
+        .map(|nodes| {
+            let w: Vec<f64> = nodes.iter().map(|&v| expected_degrees[v]).collect();
+            WeightedSampler::new(&w)
+        })
+        .collect();
+    let global = WeightedSampler::new(expected_degrees);
+    let total: f64 = expected_degrees.iter().sum();
+    let m = (total / 2.0).round() as usize;
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..m {
+        let u = global.sample(rng);
+        let v = if rng.bernoulli(*p_within) {
+            let bl = block_of[u];
+            block_nodes[bl][block_samplers[bl].sample(rng)]
+        } else {
+            global.sample(rng)
+        };
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Draws `n` expected degrees from a truncated power law
+/// `P(d) ∝ d^-gamma` on `[d_min, d_max]` via inverse-CDF sampling.
+///
+/// # Panics
+///
+/// Panics unless `1.0 < gamma` and `0 < d_min < d_max`.
+pub fn power_law_degrees(
+    n: usize,
+    d_min: f64,
+    d_max: f64,
+    gamma: f64,
+    rng: &mut SeededRng,
+) -> Vec<f64> {
+    assert!(gamma > 1.0, "power_law_degrees requires gamma > 1");
+    assert!(0.0 < d_min && d_min < d_max, "invalid degree bounds");
+    let a = 1.0 - gamma;
+    let lo = d_min.powf(a);
+    let hi = d_max.powf(a);
+    (0..n)
+        .map(|_| {
+            let u = rng.uniform() as f64;
+            (lo + u * (hi - lo)).powf(1.0 / a)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_degrees() {
+        let g = ring(8);
+        assert_eq!(g.num_edges(), 8);
+        assert!((0..8).all(|v| g.degree(v) == 2));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // h*(w-1) + w*(h-1)
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn erdos_renyi_exact_edge_count() {
+        let mut rng = SeededRng::new(1);
+        let g = erdos_renyi_m(50, 100, &mut rng);
+        assert_eq!(g.num_edges(), 100);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn ba_has_heavy_tail() {
+        let mut rng = SeededRng::new(2);
+        let g = barabasi_albert(2000, 3, &mut rng);
+        assert!(g.validate().is_ok());
+        let max_deg = (0..g.num_nodes()).map(|v| g.degree(v)).max().unwrap();
+        let avg = g.average_degree();
+        assert!(
+            max_deg as f64 > 5.0 * avg,
+            "expected hub: max {max_deg}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let mut rng = SeededRng::new(3);
+        let g = rmat(10, 8_000, &mut rng);
+        assert!(g.validate().is_ok());
+        let max_deg = (0..g.num_nodes()).map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg as f64 > 4.0 * g.average_degree());
+    }
+
+    #[test]
+    fn chung_lu_tracks_expected_degrees() {
+        let mut rng = SeededRng::new(4);
+        let n = 3000;
+        let w: Vec<f64> = (0..n).map(|i| if i < 30 { 60.0 } else { 6.0 }).collect();
+        let g = chung_lu(&w, &mut rng);
+        assert!(g.validate().is_ok());
+        let heavy_avg: f64 = (0..30).map(|v| g.degree(v) as f64).sum::<f64>() / 30.0;
+        let light_avg: f64 =
+            (30..n).map(|v| g.degree(v) as f64).sum::<f64>() / (n - 30) as f64;
+        assert!(
+            heavy_avg > 4.0 * light_avg,
+            "heavy {heavy_avg} vs light {light_avg}"
+        );
+    }
+
+    #[test]
+    fn dc_sbm_is_assortative() {
+        let mut rng = SeededRng::new(5);
+        let n = 4000;
+        let blocks = 4;
+        let block_of: Vec<usize> = (0..n).map(|v| v % blocks).collect();
+        let deg = power_law_degrees(n, 4.0, 80.0, 2.2, &mut rng);
+        let g = dc_sbm(
+            &DcSbmParams {
+                block_of: block_of.clone(),
+                expected_degrees: deg,
+                p_within: 0.9,
+            },
+            &mut rng,
+        );
+        assert!(g.validate().is_ok());
+        let within = g
+            .edges()
+            .filter(|&(u, v)| block_of[u] == block_of[v])
+            .count();
+        let frac = within as f64 / g.num_edges() as f64;
+        // Source drawn globally, target within-block w.p. 0.9 plus chance
+        // hits: expect well above the 1/blocks = 0.25 random baseline.
+        assert!(frac > 0.7, "within-block fraction {frac}");
+    }
+
+    #[test]
+    fn dc_sbm_p_zero_is_unassortative() {
+        let mut rng = SeededRng::new(6);
+        let n = 4000;
+        let block_of: Vec<usize> = (0..n).map(|v| v % 4).collect();
+        let deg = vec![8.0; n];
+        let g = dc_sbm(
+            &DcSbmParams {
+                block_of: block_of.clone(),
+                expected_degrees: deg,
+                p_within: 0.0,
+            },
+            &mut rng,
+        );
+        let within = g
+            .edges()
+            .filter(|&(u, v)| block_of[u] == block_of[v])
+            .count();
+        let frac = within as f64 / g.num_edges() as f64;
+        assert!((frac - 0.25).abs() < 0.05, "frac {frac}");
+    }
+
+    #[test]
+    fn power_law_bounds_and_skew() {
+        let mut rng = SeededRng::new(7);
+        let d = power_law_degrees(10_000, 2.0, 100.0, 2.5, &mut rng);
+        assert!(d.iter().all(|&x| (2.0..=100.0).contains(&x)));
+        let mean = d.iter().sum::<f64>() / d.len() as f64;
+        let median = {
+            let mut s = d.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[d.len() / 2]
+        };
+        assert!(mean > median, "power law should be right-skewed");
+    }
+
+    #[test]
+    fn watts_strogatz_degree_and_rewiring() {
+        let mut rng = SeededRng::new(8);
+        // beta = 0: pure ring lattice, every degree exactly 2*k_half.
+        let g0 = watts_strogatz(100, 2, 0.0, &mut rng);
+        assert!((0..100).all(|v| g0.degree(v) == 4));
+        assert!(g0.validate().is_ok());
+        // beta = 1: heavily rewired, degrees vary.
+        let g1 = watts_strogatz(100, 2, 1.0, &mut rng);
+        assert!(g1.validate().is_ok());
+        let distinct: std::collections::HashSet<usize> =
+            (0..100).map(|v| g1.degree(v)).collect();
+        assert!(distinct.len() > 1, "rewiring should break regularity");
+    }
+
+    #[test]
+    fn watts_strogatz_shrinks_diameter() {
+        let mut rng = SeededRng::new(9);
+        let lattice = watts_strogatz(200, 2, 0.0, &mut rng);
+        let small_world = watts_strogatz(200, 2, 0.3, &mut rng);
+        let d0 = crate::algo::double_sweep_diameter(&lattice).unwrap();
+        if let Some(d1) = crate::algo::double_sweep_diameter(&small_world) {
+            assert!(d1 < d0, "small world {d1} vs lattice {d0}");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let g1 = barabasi_albert(500, 2, &mut SeededRng::new(11));
+        let g2 = barabasi_albert(500, 2, &mut SeededRng::new(11));
+        assert_eq!(g1, g2);
+    }
+}

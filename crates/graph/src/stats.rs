@@ -1,0 +1,112 @@
+//! Descriptive statistics over graphs (used in experiment reports).
+
+use crate::CsrGraph;
+
+/// Summary of a degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// 99th-percentile degree.
+    pub p99: usize,
+}
+
+impl DegreeStats {
+    /// Computes degree statistics for `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has zero nodes.
+    pub fn of(g: &CsrGraph) -> Self {
+        let n = g.num_nodes();
+        assert!(n > 0, "DegreeStats on empty graph");
+        let mut degs: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+        degs.sort_unstable();
+        Self {
+            min: degs[0],
+            max: degs[n - 1],
+            mean: degs.iter().sum::<usize>() as f64 / n as f64,
+            median: degs[n / 2],
+            p99: degs[((n as f64 * 0.99) as usize).min(n - 1)],
+        }
+    }
+}
+
+/// A one-line structural summary of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Degree distribution summary.
+    pub degrees: DegreeStats,
+    /// Number of connected components.
+    pub components: usize,
+}
+
+impl GraphStats {
+    /// Computes the summary for `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has zero nodes.
+    pub fn of(g: &CsrGraph) -> Self {
+        let (_, components) = g.connected_components();
+        Self {
+            nodes: g.num_nodes(),
+            edges: g.num_edges(),
+            degrees: DegreeStats::of(g),
+            components,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nodes={} edges={} deg(min/med/mean/p99/max)={}/{}/{:.1}/{}/{} components={}",
+            self.nodes,
+            self.edges,
+            self.degrees.min,
+            self.degrees.median,
+            self.degrees.mean,
+            self.degrees.p99,
+            self.degrees.max,
+            self.components
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::ring;
+
+    #[test]
+    fn ring_stats() {
+        let s = GraphStats::of(&ring(10));
+        assert_eq!(s.nodes, 10);
+        assert_eq!(s.edges, 10);
+        assert_eq!(s.degrees.min, 2);
+        assert_eq!(s.degrees.max, 2);
+        assert_eq!(s.components, 1);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn star_stats() {
+        let g = CsrGraph::from_edges(5, (1..5).map(|v| (0, v)));
+        let d = DegreeStats::of(&g);
+        assert_eq!(d.min, 1);
+        assert_eq!(d.max, 4);
+        assert!((d.mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,114 @@
+//! Elementwise activation functions and their derivatives.
+
+use bns_tensor::Matrix;
+
+/// An elementwise activation applied after a layer's linear part.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// `max(0, x)`.
+    Relu,
+    /// `x` (used on the final layer before the loss).
+    Identity,
+    /// `x` if `x > 0` else `slope * x`.
+    LeakyRelu(f32),
+    /// `x` if `x > 0` else `exp(x) - 1`.
+    Elu,
+}
+
+impl Activation {
+    /// Applies the activation elementwise.
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        match *self {
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Identity => x.clone(),
+            Activation::LeakyRelu(s) => x.map(|v| if v > 0.0 { v } else { s * v }),
+            Activation::Elu => x.map(|v| if v > 0.0 { v } else { v.exp() - 1.0 }),
+        }
+    }
+
+    /// The derivative evaluated at pre-activation `x`, multiplied
+    /// elementwise into `upstream` (i.e. the backward step).
+    pub fn backward(&self, pre: &Matrix, upstream: &Matrix) -> Matrix {
+        assert_eq!(pre.shape(), upstream.shape(), "activation backward shape");
+        match *self {
+            Activation::Identity => upstream.clone(),
+            Activation::Relu => {
+                let mask = pre.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                upstream.hadamard(&mask)
+            }
+            Activation::LeakyRelu(s) => {
+                let mask = pre.map(|v| if v > 0.0 { 1.0 } else { s });
+                upstream.hadamard(&mask)
+            }
+            Activation::Elu => {
+                let mask = pre.map(|v| if v > 0.0 { 1.0 } else { v.exp() });
+                upstream.hadamard(&mask)
+            }
+        }
+    }
+
+    /// Scalar derivative at `x` (for the per-edge GAT path).
+    pub fn derivative(&self, x: f32) -> f32 {
+        match *self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu(s) => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    s
+                }
+            }
+            Activation::Elu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    x.exp()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let x = Matrix::from_rows(&[&[-1.0, 0.5]]);
+        let y = Activation::Relu.apply(&x);
+        assert_eq!(y.row(0), &[0.0, 0.5]);
+        let up = Matrix::from_rows(&[&[2.0, 2.0]]);
+        let d = Activation::Relu.backward(&x, &up);
+        assert_eq!(d.row(0), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn leaky_relu_slope() {
+        let x = Matrix::from_rows(&[&[-2.0, 3.0]]);
+        let y = Activation::LeakyRelu(0.1).apply(&x);
+        assert!((y[(0, 0)] + 0.2).abs() < 1e-6);
+        assert_eq!(y[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn elu_is_smooth_at_negative() {
+        let x = Matrix::from_rows(&[&[-1.0]]);
+        let y = Activation::Elu.apply(&x);
+        assert!((y[(0, 0)] - ((-1.0f32).exp() - 1.0)).abs() < 1e-6);
+        assert!((Activation::Elu.derivative(-1.0) - (-1.0f32).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        let x = Matrix::from_rows(&[&[-5.0, 5.0]]);
+        assert_eq!(Activation::Identity.apply(&x), x);
+    }
+}

@@ -1,0 +1,208 @@
+//! Sparse neighbor-aggregation kernels.
+//!
+//! These are the "aggregate" half of a GCN layer (paper Eq. 1). They are
+//! written against a *local* graph whose first `n_out` rows are the
+//! partition's inner nodes and whose remaining rows (if any) are
+//! boundary nodes, so the same kernel serves single-rank full-graph
+//! training (`n_out == n`) and partition-parallel training.
+//!
+//! The per-target `row_scale` lets callers implement the paper's
+//! unbiased mean: `row_scale[v] = 1 / deg_full(v)` makes the sum a
+//! full-graph mean even when only sampled boundary neighbors are present
+//! locally (the engine pre-scales received boundary rows by `1/p`).
+
+use bns_graph::CsrGraph;
+use bns_tensor::Matrix;
+
+/// `z_v = row_scale[v] · Σ_{u ∈ N_g(v)} h_u` for `v < n_out`.
+///
+/// # Panics
+///
+/// Panics if `h` has fewer rows than `g` has nodes, `n_out >
+/// g.num_nodes()`, or `row_scale.len() != n_out`.
+pub fn scaled_sum_aggregate(
+    g: &CsrGraph,
+    h: &Matrix,
+    n_out: usize,
+    row_scale: &[f32],
+) -> Matrix {
+    assert!(h.rows() >= g.num_nodes(), "feature matrix too small");
+    assert!(n_out <= g.num_nodes(), "n_out exceeds graph size");
+    assert_eq!(row_scale.len(), n_out, "row_scale length mismatch");
+    let d = h.cols();
+    let mut z = Matrix::zeros(n_out, d);
+    for v in 0..n_out {
+        let zr = z.row_mut(v);
+        for &u in g.neighbors(v) {
+            let hu = h.row(u as usize);
+            for (a, b) in zr.iter_mut().zip(hu) {
+                *a += b;
+            }
+        }
+        let s = row_scale[v];
+        for a in zr.iter_mut() {
+            *a *= s;
+        }
+    }
+    z
+}
+
+/// Adjoint of [`scaled_sum_aggregate`]: given `dz` (`n_out x d`), returns
+/// `dh` (`n_rows_h x d`) with `dh_u = Σ_{v ∈ N_g(u), v < n_out}
+/// row_scale[v] · dz_v`.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as the forward kernel.
+pub fn scaled_sum_aggregate_backward(
+    g: &CsrGraph,
+    dz: &Matrix,
+    n_rows_h: usize,
+    row_scale: &[f32],
+) -> Matrix {
+    let n_out = dz.rows();
+    assert!(n_out <= g.num_nodes(), "dz has more rows than graph nodes");
+    assert!(n_rows_h >= g.num_nodes(), "output too small");
+    assert_eq!(row_scale.len(), n_out, "row_scale length mismatch");
+    let d = dz.cols();
+    let mut dh = Matrix::zeros(n_rows_h, d);
+    for v in 0..n_out {
+        let s = row_scale[v];
+        let dzv: Vec<f32> = dz.row(v).iter().map(|x| x * s).collect();
+        for &u in g.neighbors(v) {
+            let hr = dh.row_mut(u as usize);
+            for (a, b) in hr.iter_mut().zip(&dzv) {
+                *a += b;
+            }
+        }
+    }
+    dh
+}
+
+/// Symmetric-normalized GCN aggregation with self-loops (Kipf & Welling):
+/// `z_v = s_v² · h_v + s_v · Σ_{u ∈ N(v)} s_u · h_u` where callers pass
+/// `s_v = 1/sqrt(deg_full(v) + 1)`. `s` must cover every local row.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn gcn_aggregate(g: &CsrGraph, h: &Matrix, n_out: usize, s: &[f32]) -> Matrix {
+    assert!(h.rows() >= g.num_nodes(), "feature matrix too small");
+    assert!(n_out <= g.num_nodes(), "n_out exceeds graph size");
+    assert!(s.len() >= g.num_nodes(), "scale vector too small");
+    let d = h.cols();
+    let mut z = Matrix::zeros(n_out, d);
+    for v in 0..n_out {
+        let zr = z.row_mut(v);
+        for &u in g.neighbors(v) {
+            let su = s[u as usize];
+            let hu = h.row(u as usize);
+            for (a, b) in zr.iter_mut().zip(hu) {
+                *a += su * b;
+            }
+        }
+        let sv = s[v];
+        let hv = h.row(v);
+        for (i, a) in zr.iter_mut().enumerate() {
+            *a = sv * *a + sv * sv * hv[i];
+        }
+    }
+    z
+}
+
+/// Adjoint of [`gcn_aggregate`].
+pub fn gcn_aggregate_backward(g: &CsrGraph, dz: &Matrix, n_rows_h: usize, s: &[f32]) -> Matrix {
+    let n_out = dz.rows();
+    assert!(n_rows_h >= g.num_nodes(), "output too small");
+    assert!(s.len() >= g.num_nodes(), "scale vector too small");
+    let d = dz.cols();
+    let mut dh = Matrix::zeros(n_rows_h, d);
+    for v in 0..n_out {
+        let sv = s[v];
+        // Self-loop term.
+        {
+            let dzv = dz.row(v);
+            let hr = dh.row_mut(v);
+            for (a, b) in hr.iter_mut().zip(dzv) {
+                *a += sv * sv * b;
+            }
+        }
+        let dzv: Vec<f32> = dz.row(v).iter().map(|x| x * sv).collect();
+        for &u in g.neighbors(v) {
+            let su = s[u as usize];
+            let hr = dh.row_mut(u as usize);
+            for (a, b) in hr.iter_mut().zip(&dzv) {
+                *a += su * b;
+            }
+        }
+    }
+    dh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bns_graph::generators::ring;
+    use bns_tensor::SeededRng;
+
+    #[test]
+    fn mean_aggregate_on_ring() {
+        let g = ring(4);
+        let h = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let scale = vec![0.5; 4]; // every node has degree 2
+        let z = scaled_sum_aggregate(&g, &h, 4, &scale);
+        // node 0's neighbors are 1 and 3 -> (2+4)/2 = 3
+        assert_eq!(z.row(0), &[3.0]);
+        assert_eq!(z.row(1), &[2.0]);
+    }
+
+    #[test]
+    fn aggregate_restricted_rows() {
+        let g = ring(4);
+        let h = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let z = scaled_sum_aggregate(&g, &h, 2, &[1.0, 1.0]);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.row(0), &[6.0]); // 2 + 4
+    }
+
+    #[test]
+    fn backward_is_adjoint_of_forward() {
+        // <A x, y> == <x, A^T y> for random x, y.
+        let mut rng = SeededRng::new(1);
+        let g = bns_graph::generators::erdos_renyi_m(30, 80, &mut rng);
+        let scale: Vec<f32> = (0..30).map(|_| rng.uniform_range(0.1, 2.0)).collect();
+        let x = Matrix::random_normal(30, 3, 0.0, 1.0, &mut rng);
+        let y = Matrix::random_normal(30, 3, 0.0, 1.0, &mut rng);
+        let ax = scaled_sum_aggregate(&g, &x, 30, &scale);
+        let aty = scaled_sum_aggregate_backward(&g, &y, 30, &scale);
+        let lhs: f32 = ax.hadamard(&y).sum();
+        let rhs: f32 = x.hadamard(&aty).sum();
+        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn gcn_backward_is_adjoint() {
+        let mut rng = SeededRng::new(2);
+        let g = bns_graph::generators::erdos_renyi_m(25, 60, &mut rng);
+        let s: Vec<f32> = (0..25)
+            .map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt())
+            .collect();
+        let x = Matrix::random_normal(25, 4, 0.0, 1.0, &mut rng);
+        let y = Matrix::random_normal(25, 4, 0.0, 1.0, &mut rng);
+        let ax = gcn_aggregate(&g, &x, 25, &s);
+        let aty = gcn_aggregate_backward(&g, &y, 25, &s);
+        let lhs: f32 = ax.hadamard(&y).sum();
+        let rhs: f32 = x.hadamard(&aty).sum();
+        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn gcn_self_loop_only_for_isolated_node() {
+        let g = bns_graph::CsrGraph::empty(2);
+        let h = Matrix::from_rows(&[&[4.0], &[8.0]]);
+        let s = vec![1.0, 0.5];
+        let z = gcn_aggregate(&g, &h, 2, &s);
+        assert_eq!(z.row(0), &[4.0]); // 1^2 * 4
+        assert_eq!(z.row(1), &[2.0]); // 0.5^2 * 8
+    }
+}

@@ -1,0 +1,50 @@
+//! Finite-difference gradient checking, used throughout the test suite
+//! to validate the hand-derived backward passes.
+
+use bns_tensor::Matrix;
+
+/// Central finite-difference gradient of a scalar function `f` with
+/// respect to `x`: `(f(x + εeᵢ) − f(x − εeᵢ)) / 2ε` per entry.
+///
+/// # Example
+///
+/// ```
+/// use bns_nn::gradcheck::finite_diff;
+/// use bns_tensor::Matrix;
+///
+/// let x = Matrix::from_rows(&[&[3.0f32]]);
+/// // f(x) = x², so f'(3) = 6.
+/// let g = finite_diff(&x, 1e-3, |m| (m[(0, 0)] as f64).powi(2));
+/// assert!((g[(0, 0)] - 6.0).abs() < 1e-2);
+/// ```
+pub fn finite_diff(x: &Matrix, eps: f32, mut f: impl FnMut(&Matrix) -> f64) -> Matrix {
+    let mut grad = Matrix::zeros(x.rows(), x.cols());
+    let mut xp = x.clone();
+    for r in 0..x.rows() {
+        for c in 0..x.cols() {
+            let orig = xp[(r, c)];
+            xp[(r, c)] = orig + eps;
+            let plus = f(&xp);
+            xp[(r, c)] = orig - eps;
+            let minus = f(&xp);
+            xp[(r, c)] = orig;
+            grad[(r, c)] = ((plus - minus) / (2.0 * eps as f64)) as f32;
+        }
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient() {
+        let x = Matrix::from_rows(&[&[1.0, -2.0]]);
+        let g = finite_diff(&x, 1e-3, |m| {
+            m.as_slice().iter().map(|&v| (v as f64).powi(2)).sum()
+        });
+        assert!((g[(0, 0)] - 2.0).abs() < 1e-2);
+        assert!((g[(0, 1)] + 4.0).abs() < 1e-2);
+    }
+}

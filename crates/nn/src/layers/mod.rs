@@ -1,0 +1,69 @@
+//! Graph neural network layers with explicit forward/backward passes.
+//!
+//! All layers follow the same calling convention, designed for the
+//! partition-parallel engine:
+//!
+//! * `forward(graph, h_full, n_out, ..)` consumes a feature matrix whose
+//!   first `n_out` rows are the nodes to update (a partition's inner
+//!   nodes) and whose remaining rows are externally supplied context
+//!   (boundary nodes); it returns the updated `n_out` rows plus a cache.
+//! * `backward(graph, cache, d_out)` consumes the gradient of the loss
+//!   with respect to the layer's output and returns the gradient with
+//!   respect to **every** input row (inner and boundary — the boundary
+//!   rows are what the engine ships back to their owner partitions) plus
+//!   parameter gradients.
+
+mod gat;
+mod gcn;
+mod linear;
+mod sage;
+
+pub use gat::{GatCache, GatGrads, GatLayer};
+pub use gcn::{GcnCache, GcnGrads, GcnLayer};
+pub use linear::{LinearCache, LinearGrads, LinearLayer};
+pub use sage::{SageCache, SageGrads, SageLayer};
+
+use bns_tensor::{Matrix, SeededRng};
+
+/// Inverted dropout: zeroes entries with probability `rate` and scales
+/// survivors by `1/(1-rate)`, returning the dropped matrix and the scale
+/// mask for the backward pass.
+pub(crate) fn dropout(x: &Matrix, rate: f32, rng: &mut SeededRng) -> (Matrix, Matrix) {
+    debug_assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0,1)");
+    let keep = 1.0 - rate;
+    let mask = Matrix::from_fn(x.rows(), x.cols(), |_, _| {
+        if rng.bernoulli(keep as f64) {
+            1.0 / keep
+        } else {
+            0.0
+        }
+    });
+    (x.hadamard(&mask), mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut rng = SeededRng::new(1);
+        let x = Matrix::filled(200, 50, 1.0);
+        let (y, mask) = dropout(&x, 0.4, &mut rng);
+        let mean = y.sum() / y.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Mask entries are either 0 or 1/keep.
+        assert!(mask
+            .as_slice()
+            .iter()
+            .all(|&m| m == 0.0 || (m - 1.0 / 0.6).abs() < 1e-5));
+    }
+
+    #[test]
+    fn dropout_zero_rate_is_identity() {
+        let mut rng = SeededRng::new(2);
+        let x = Matrix::filled(3, 3, 2.0);
+        let (y, _) = dropout(&x, 0.0, &mut rng);
+        assert_eq!(y, x);
+    }
+}

@@ -1,0 +1,133 @@
+//! Evaluation metrics: accuracy (Reddit / ogbn-products) and micro-F1
+//! (Yelp) — the two test scores the paper reports.
+
+use bns_tensor::Matrix;
+
+/// Argmax accuracy over the given rows. Returns `(correct, total)` so
+/// partition-parallel callers can sum counts before dividing.
+pub fn accuracy_counts(logits: &Matrix, labels: &[usize], rows: &[usize]) -> (usize, usize) {
+    let mut correct = 0usize;
+    for &r in rows {
+        let row = logits.row(r);
+        // First maximum wins ties (deterministic argmax).
+        let mut argmax = 0usize;
+        for (i, &x) in row.iter().enumerate() {
+            if x > row[argmax] {
+                argmax = i;
+            }
+        }
+        if argmax == labels[r] {
+            correct += 1;
+        }
+    }
+    (correct, rows.len())
+}
+
+/// Argmax accuracy in `[0, 1]`; 0 for an empty row set.
+pub fn accuracy(logits: &Matrix, labels: &[usize], rows: &[usize]) -> f64 {
+    let (c, t) = accuracy_counts(logits, labels, rows);
+    if t == 0 {
+        0.0
+    } else {
+        c as f64 / t as f64
+    }
+}
+
+/// True-positive / false-positive / false-negative counts for
+/// multi-label prediction with the standard `logit > 0` threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct F1Counts {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl F1Counts {
+    /// Adds another partition's counts.
+    pub fn merge(&mut self, other: F1Counts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// Micro-averaged F1 = `2·tp / (2·tp + fp + fn)`; 0 when undefined.
+    pub fn micro_f1(&self) -> f64 {
+        let denom = 2 * self.tp + self.fp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            2.0 * self.tp as f64 / denom as f64
+        }
+    }
+}
+
+/// Multi-label prediction counts over the given rows (`targets` is 0/1).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn multilabel_counts(logits: &Matrix, targets: &Matrix, rows: &[usize]) -> F1Counts {
+    assert_eq!(logits.shape(), targets.shape(), "shape mismatch");
+    let mut c = F1Counts::default();
+    for &r in rows {
+        let x = logits.row(r);
+        let y = targets.row(r);
+        for j in 0..x.len() {
+            let pred = x[j] > 0.0;
+            let actual = y[j] > 0.5;
+            match (pred, actual) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    c
+}
+
+/// Micro-F1 over the given rows.
+pub fn micro_f1(logits: &Matrix, targets: &Matrix, rows: &[usize]) -> f64 {
+    multilabel_counts(logits, targets, rows).micro_f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        let logits = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0]]);
+        let labels = vec![0, 1, 1];
+        assert!((accuracy(&logits, &labels, &[0, 1, 2]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy_counts(&logits, &labels, &[0, 1]), (2, 2));
+        assert_eq!(accuracy(&logits, &labels, &[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_micro_f1() {
+        let logits = Matrix::from_rows(&[&[5.0, -5.0], &[-5.0, 5.0]]);
+        let targets = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert!((micro_f1(&logits, &targets, &[0, 1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micro_f1_counts_and_merge() {
+        let logits = Matrix::from_rows(&[&[1.0, 1.0, -1.0]]);
+        let targets = Matrix::from_rows(&[&[1.0, 0.0, 1.0]]);
+        let c = multilabel_counts(&logits, &targets, &[0]);
+        assert_eq!((c.tp, c.fp, c.fn_), (1, 1, 1));
+        let mut m = c;
+        m.merge(c);
+        assert_eq!((m.tp, m.fp, m.fn_), (2, 2, 2));
+        assert!((m.micro_f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_f1_is_zero() {
+        assert_eq!(F1Counts::default().micro_f1(), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Optimizers. The paper uses Adam everywhere.
+
+use bns_tensor::Matrix;
+
+/// The Adam optimizer (Kingma & Ba) with optional weight decay.
+///
+/// State is lazily initialized on the first [`Adam::step`]; subsequent
+/// calls must pass the same number and shapes of parameters.
+///
+/// # Example
+///
+/// ```
+/// use bns_nn::Adam;
+/// use bns_tensor::Matrix;
+///
+/// // Minimize f(x) = x² from x = 3.
+/// let mut x = Matrix::from_rows(&[&[3.0f32]]);
+/// let mut opt = Adam::new(0.1);
+/// for _ in 0..200 {
+///     let g = Matrix::from_rows(&[&[2.0 * x[(0, 0)]]]);
+///     opt.step(&mut [&mut x], &[&g]);
+/// }
+/// assert!(x[(0, 0)].abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// Decoupled weight decay coefficient (0 disables).
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with the standard `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update. `params[i]` is updated using `grads[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts or shapes differ from the first call.
+    pub fn step(&mut self, params: &mut [&mut Matrix], grads: &[&Matrix]) {
+        assert_eq!(params.len(), grads.len(), "params/grads count mismatch");
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter count changed");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            assert_eq!(p.shape(), g.shape(), "parameter shape changed");
+            let pd = p.as_mut_slice();
+            let gd = g.as_slice();
+            let md = m.as_mut_slice();
+            let vd = v.as_mut_slice();
+            for i in 0..pd.len() {
+                let gi = gd[i] + self.weight_decay * pd[i];
+                md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * gi;
+                vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * gi * gi;
+                let mhat = md[i] / b1t;
+                let vhat = vd[i] / b2t;
+                pd[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_quadratic_bowl() {
+        let mut x = Matrix::from_rows(&[&[5.0, -3.0]]);
+        let mut opt = Adam::new(0.2);
+        for _ in 0..300 {
+            let g = Matrix::from_rows(&[&[2.0 * x[(0, 0)], 2.0 * x[(0, 1)]]]);
+            opt.step(&mut [&mut x], &[&g]);
+        }
+        assert!(x[(0, 0)].abs() < 0.05 && x[(0, 1)].abs() < 0.05, "{x:?}");
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn multiple_params_updated_independently() {
+        let mut a = Matrix::from_rows(&[&[1.0]]);
+        let mut b = Matrix::from_rows(&[&[10.0]]);
+        let mut opt = Adam::new(0.5);
+        for _ in 0..100 {
+            let ga = Matrix::from_rows(&[&[2.0 * a[(0, 0)]]]);
+            let gb = Matrix::from_rows(&[&[2.0 * (b[(0, 0)] - 4.0)]]);
+            opt.step(&mut [&mut a, &mut b], &[&ga, &gb]);
+        }
+        assert!(a[(0, 0)].abs() < 0.1);
+        assert!((b[(0, 0)] - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut x = Matrix::from_rows(&[&[2.0]]);
+        let mut opt = Adam::new(0.05);
+        opt.weight_decay = 0.5;
+        for _ in 0..500 {
+            let g = Matrix::from_rows(&[&[0.0]]); // no loss gradient
+            opt.step(&mut [&mut x], &[&g]);
+        }
+        assert!(x[(0, 0)].abs() < 0.2, "{}", x[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn mismatched_counts_panic() {
+        let mut x = Matrix::zeros(1, 1);
+        Adam::new(0.1).step(&mut [&mut x], &[]);
+    }
+}

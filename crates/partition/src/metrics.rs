@@ -1,0 +1,197 @@
+//! Partition-quality metrics, including the paper's communication-volume
+//! identity (Eq. 3).
+
+use crate::Partitioning;
+use bns_graph::CsrGraph;
+
+/// Number of edges whose endpoints lie in different partitions.
+pub fn edge_cut(g: &CsrGraph, part: &Partitioning) -> usize {
+    g.edges()
+        .filter(|&(u, v)| part.part_of(u) != part.part_of(v))
+        .count()
+}
+
+/// The boundary node set `𝓑ᵢ` of each partition: nodes *outside*
+/// partition `i` that have at least one neighbor inside it. These are the
+/// nodes whose features partition `i` must receive every layer — the
+/// quantity BNS-GCN samples.
+///
+/// Each returned list is sorted ascending.
+pub fn boundary_sets(g: &CsrGraph, part: &Partitioning) -> Vec<Vec<usize>> {
+    let k = part.num_parts();
+    let mut out = vec![Vec::new(); k];
+    // For each node u, mark the partitions (≠ its own) it neighbors.
+    let mut stamp = vec![usize::MAX; k];
+    for u in 0..g.num_nodes() {
+        let pu = part.part_of(u);
+        for &v in g.neighbors(u) {
+            let pv = part.part_of(v as usize);
+            if pv != pu && stamp[pv] != u {
+                stamp[pv] = u;
+                out[pv].push(u);
+            }
+        }
+    }
+    out
+}
+
+/// Per-partition boundary-set sizes `n_bd^(i)`.
+pub fn boundary_counts(g: &CsrGraph, part: &Partitioning) -> Vec<usize> {
+    boundary_sets(g, part).iter().map(Vec::len).collect()
+}
+
+/// `Vol(𝒢ᵢ) = Σ_{v∈𝒢ᵢ} D(v)` where `D(v)` is the number of partitions
+/// other than `i` in which `v` has a neighbor (paper §3.1): the amount of
+/// feature rows partition `i` *sends* per propagation.
+pub fn send_volumes(g: &CsrGraph, part: &Partitioning) -> Vec<usize> {
+    let k = part.num_parts();
+    let mut out = vec![0usize; k];
+    let mut stamp = vec![usize::MAX; k];
+    for v in 0..g.num_nodes() {
+        let pv = part.part_of(v);
+        let mut d = 0usize;
+        for &u in g.neighbors(v) {
+            let pu = part.part_of(u as usize);
+            if pu != pv && stamp[pu] != v {
+                stamp[pu] = v;
+                d += 1;
+            }
+        }
+        out[pv] += d;
+    }
+    out
+}
+
+/// Total communication volume `Vol_total = Σᵢ Vol(𝒢ᵢ) = Σᵢ n_bd^(i)`
+/// (paper Eq. 3). The equality of the two formulations is asserted in
+/// debug builds.
+pub fn comm_volume(g: &CsrGraph, part: &Partitioning) -> usize {
+    let total: usize = send_volumes(g, part).iter().sum();
+    debug_assert_eq!(
+        total,
+        boundary_counts(g, part).iter().sum::<usize>(),
+        "Eq. 3 identity violated"
+    );
+    total
+}
+
+/// One row of the paper's Table 1: inner count, boundary count and their
+/// ratio for every partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionReport {
+    /// Inner-node count per partition.
+    pub inner: Vec<usize>,
+    /// Boundary-node count per partition.
+    pub boundary: Vec<usize>,
+    /// `boundary[i] / inner[i]` per partition.
+    pub ratio: Vec<f64>,
+    /// Total communication volume (Eq. 3).
+    pub comm_volume: usize,
+    /// Edge cut.
+    pub edge_cut: usize,
+    /// Inner-node imbalance (max/ideal).
+    pub imbalance: f64,
+}
+
+impl PartitionReport {
+    /// Computes the full quality report.
+    pub fn of(g: &CsrGraph, part: &Partitioning) -> Self {
+        let inner = part.sizes();
+        let boundary = boundary_counts(g, part);
+        let ratio = inner
+            .iter()
+            .zip(&boundary)
+            .map(|(&i, &b)| if i == 0 { 0.0 } else { b as f64 / i as f64 })
+            .collect();
+        Self {
+            comm_volume: boundary.iter().sum(),
+            edge_cut: edge_cut(g, part),
+            imbalance: part.imbalance(),
+            inner,
+            boundary,
+            ratio,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bns_graph::generators::{erdos_renyi_m, ring};
+    use bns_tensor::SeededRng;
+
+    fn ring_quarters() -> (CsrGraph, Partitioning) {
+        let g = ring(8);
+        let part = Partitioning::new(vec![0, 0, 1, 1, 2, 2, 3, 3], 4);
+        (g, part)
+    }
+
+    #[test]
+    fn ring_edge_cut() {
+        let (g, part) = ring_quarters();
+        assert_eq!(edge_cut(&g, &part), 4);
+    }
+
+    #[test]
+    fn ring_boundary_sets() {
+        let (g, part) = ring_quarters();
+        let b = boundary_sets(&g, &part);
+        // Partition 0 = {0,1}; outside neighbors of it: 7 (nbr of 0) and 2 (nbr of 1).
+        assert_eq!(b[0], vec![2, 7]);
+        assert_eq!(boundary_counts(&g, &part), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn eq3_identity_on_random_graph() {
+        let mut rng = SeededRng::new(1);
+        let g = erdos_renyi_m(200, 800, &mut rng);
+        for k in [2usize, 3, 7] {
+            let assignment: Vec<usize> = (0..200).map(|v| (v * 13 + 5) % k).collect();
+            let part = Partitioning::new(assignment, k);
+            let send: usize = send_volumes(&g, &part).iter().sum();
+            let bd: usize = boundary_counts(&g, &part).iter().sum();
+            assert_eq!(send, bd, "Eq. 3 identity, k={k}");
+            assert_eq!(comm_volume(&g, &part), bd);
+        }
+    }
+
+    #[test]
+    fn single_partition_has_no_boundary() {
+        let g = ring(10);
+        let part = Partitioning::new(vec![0; 10], 1);
+        assert_eq!(comm_volume(&g, &part), 0);
+        assert_eq!(edge_cut(&g, &part), 0);
+        assert_eq!(boundary_counts(&g, &part), vec![0]);
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let (g, part) = ring_quarters();
+        let r = PartitionReport::of(&g, &part);
+        assert_eq!(r.inner, vec![2; 4]);
+        assert_eq!(r.boundary, vec![2; 4]);
+        assert_eq!(r.ratio, vec![1.0; 4]);
+        assert_eq!(r.comm_volume, 8);
+        assert_eq!(r.edge_cut, 4);
+        assert!((r.imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_volume_counts_nodes_not_edges() {
+        // Star: hub 0 in partition 0; leaves 1..=4 in partition 1.
+        // Edge cut = 4 but comm volume = 1 (hub) + 4 (leaves) = 5?
+        // Hub is a boundary node of partition 1 (1 node); each leaf is a
+        // boundary node of partition 0 (4 nodes) => total 5.
+        let g = CsrGraph::from_edges(5, (1..5).map(|v| (0, v)));
+        let part = Partitioning::new(vec![0, 1, 1, 1, 1], 2);
+        assert_eq!(edge_cut(&g, &part), 4);
+        assert_eq!(comm_volume(&g, &part), 5);
+        // Now a "multi-edge to one node" case: two hubs.
+        // Nodes 0,1 in part 0 each connected to nodes 2,3 in part 1.
+        // Edge cut 4, but only 4 boundary nodes (2 per side).
+        let g2 = CsrGraph::from_edges(4, [(0, 2), (0, 3), (1, 2), (1, 3)]);
+        let p2 = Partitioning::new(vec![0, 0, 1, 1], 2);
+        assert_eq!(edge_cut(&g2, &p2), 4);
+        assert_eq!(comm_volume(&g2, &p2), 4);
+    }
+}

@@ -1,0 +1,198 @@
+//! The partitioner trait and the baseline partitioners.
+
+use crate::Partitioning;
+use bns_graph::CsrGraph;
+use bns_tensor::SeededRng;
+
+/// A k-way graph partitioner.
+///
+/// Implementations must return a [`Partitioning`] covering every node.
+/// `seed` makes stochastic partitioners reproducible.
+pub trait Partitioner {
+    /// Partitions `g` into `k` parts.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `k == 0` or `k > g.num_nodes()`.
+    fn partition(&self, g: &CsrGraph, k: usize, seed: u64) -> Partitioning;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn check_args(g: &CsrGraph, k: usize) {
+    assert!(k > 0, "k must be positive");
+    assert!(
+        k <= g.num_nodes(),
+        "cannot split {} nodes into {k} partitions",
+        g.num_nodes()
+    );
+}
+
+/// Balanced random assignment: shuffle nodes, deal them round-robin.
+/// The paper's Tables 7–8 ablation ("Random+BNS").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomPartitioner;
+
+impl Partitioner for RandomPartitioner {
+    fn partition(&self, g: &CsrGraph, k: usize, seed: u64) -> Partitioning {
+        check_args(g, k);
+        let n = g.num_nodes();
+        let mut rng = SeededRng::new(seed);
+        let perm = rng.permutation(n);
+        let mut part_of = vec![0usize; n];
+        for (i, &v) in perm.iter().enumerate() {
+            part_of[v] = i % k;
+        }
+        Partitioning::new(part_of, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Deterministic `v mod k` assignment — the cheapest possible scheme,
+/// oblivious to both structure and randomness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, g: &CsrGraph, k: usize, _seed: u64) -> Partitioning {
+        check_args(g, k);
+        Partitioning::new((0..g.num_nodes()).map(|v| v % k).collect(), k)
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Region-growing partitioner: repeatedly BFS from a random unassigned
+/// seed until the part reaches `ceil(n/k)` nodes. Produces contiguous,
+/// balanced parts without multilevel refinement — a mid-quality baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BfsPartitioner;
+
+impl Partitioner for BfsPartitioner {
+    fn partition(&self, g: &CsrGraph, k: usize, seed: u64) -> Partitioning {
+        check_args(g, k);
+        let n = g.num_nodes();
+        let mut rng = SeededRng::new(seed);
+        let order = rng.permutation(n);
+        let mut part_of = vec![usize::MAX; n];
+        let mut part_count = vec![0usize; k];
+        let mut current = 0usize;
+        let mut count = 0usize;
+        // Recomputing the cap as remaining/parts-left guarantees every
+        // part receives at least one node.
+        let mut cap = (n - count).div_ceil(k - current);
+        let mut queue = std::collections::VecDeque::new();
+        let mut cursor = 0usize;
+        while count < n {
+            // Find a fresh seed.
+            while cursor < n && part_of[order[cursor]] != usize::MAX {
+                cursor += 1;
+            }
+            if cursor >= n {
+                break;
+            }
+            queue.push_back(order[cursor]);
+            while let Some(u) = queue.pop_front() {
+                if part_of[u] != usize::MAX {
+                    continue;
+                }
+                part_of[u] = current;
+                part_count[current] += 1;
+                count += 1;
+                if part_count[current] >= cap {
+                    queue.clear();
+                    break;
+                }
+                for &v in g.neighbors(u) {
+                    if part_of[v as usize] == usize::MAX {
+                        queue.push_back(v as usize);
+                    }
+                }
+            }
+            if part_count[current] >= cap && current + 1 < k {
+                current += 1;
+                cap = (n - count).div_ceil(k - current);
+            }
+        }
+        Partitioning::new(part_of, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use bns_graph::generators::{grid, ring};
+
+    fn assert_valid(g: &CsrGraph, p: &Partitioning, k: usize) {
+        assert_eq!(p.num_parts(), k);
+        assert_eq!(p.num_nodes(), g.num_nodes());
+        let sizes = p.sizes();
+        assert!(sizes.iter().all(|&s| s > 0), "empty partition: {sizes:?}");
+    }
+
+    #[test]
+    fn random_is_balanced_and_deterministic() {
+        let g = ring(100);
+        let p1 = RandomPartitioner.partition(&g, 4, 7);
+        let p2 = RandomPartitioner.partition(&g, 4, 7);
+        assert_eq!(p1, p2);
+        assert_valid(&g, &p1, 4);
+        assert!((p1.imbalance() - 1.0).abs() < 1e-9);
+        let p3 = RandomPartitioner.partition(&g, 4, 8);
+        assert_ne!(p1, p3);
+    }
+
+    #[test]
+    fn hash_covers_all_parts() {
+        let g = ring(10);
+        let p = HashPartitioner.partition(&g, 3, 0);
+        assert_valid(&g, &p, 3);
+        assert_eq!(p.part_of(7), 1);
+    }
+
+    #[test]
+    fn bfs_beats_random_on_grid() {
+        let g = grid(20, 20);
+        let pr = RandomPartitioner.partition(&g, 4, 1);
+        let pb = BfsPartitioner.partition(&g, 4, 1);
+        assert_valid(&g, &pb, 4);
+        assert!(pb.imbalance() <= 1.2, "imbalance {}", pb.imbalance());
+        let cut_r = metrics::edge_cut(&g, &pr);
+        let cut_b = metrics::edge_cut(&g, &pb);
+        assert!(
+            cut_b < cut_r / 2,
+            "bfs cut {cut_b} not much better than random {cut_r}"
+        );
+    }
+
+    #[test]
+    fn bfs_handles_disconnected_graphs() {
+        // Two disjoint rings as one graph.
+        let mut edges = Vec::new();
+        for i in 0..10usize {
+            edges.push((i, (i + 1) % 10));
+            edges.push((10 + i, 10 + (i + 1) % 10));
+        }
+        let g = CsrGraph::from_edges(20, edges);
+        let p = BfsPartitioner.partition(&g, 4, 3);
+        assert_valid(&g, &p, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn too_many_parts_panics() {
+        let g = ring(3);
+        RandomPartitioner.partition(&g, 4, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! The partition-assignment type shared by all partitioners.
+
+/// An assignment of every node to one of `k` partitions.
+///
+/// Invariant: every entry of `part_of` is `< k` (checked at
+/// construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    part_of: Vec<usize>,
+    k: usize,
+}
+
+impl Partitioning {
+    /// Wraps an assignment vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or any assignment is `>= k`.
+    pub fn new(part_of: Vec<usize>, k: usize) -> Self {
+        assert!(k > 0, "Partitioning requires k > 0");
+        for (v, &p) in part_of.iter().enumerate() {
+            assert!(p < k, "node {v} assigned to partition {p} >= k = {k}");
+        }
+        Self { part_of, k }
+    }
+
+    /// Number of partitions.
+    pub fn num_parts(&self) -> usize {
+        self.k
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.part_of.len()
+    }
+
+    /// The partition of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn part_of(&self, v: usize) -> usize {
+        self.part_of[v]
+    }
+
+    /// The full assignment vector.
+    pub fn assignments(&self) -> &[usize] {
+        &self.part_of
+    }
+
+    /// The nodes of each partition, in ascending node order.
+    pub fn parts(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.k];
+        for (v, &p) in self.part_of.iter().enumerate() {
+            out[p].push(v);
+        }
+        out
+    }
+
+    /// Inner-node count per partition.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.k];
+        for &p in &self.part_of {
+            out[p] += 1;
+        }
+        out
+    }
+
+    /// `max_size / ideal_size`; 1.0 is perfectly balanced. Empty
+    /// partitionings return 1.0.
+    pub fn imbalance(&self) -> f64 {
+        if self.part_of.is_empty() {
+            return 1.0;
+        }
+        let sizes = self.sizes();
+        let max = *sizes.iter().max().unwrap() as f64;
+        let ideal = self.part_of.len() as f64 / self.k as f64;
+        max / ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_and_sizes() {
+        let p = Partitioning::new(vec![0, 1, 0, 2, 1], 3);
+        assert_eq!(p.num_parts(), 3);
+        assert_eq!(p.sizes(), vec![2, 2, 1]);
+        assert_eq!(p.parts(), vec![vec![0, 2], vec![1, 4], vec![3]]);
+        assert_eq!(p.part_of(3), 2);
+    }
+
+    #[test]
+    fn imbalance_of_even_split_is_one() {
+        let p = Partitioning::new(vec![0, 0, 1, 1], 2);
+        assert!((p.imbalance() - 1.0).abs() < 1e-12);
+        let q = Partitioning::new(vec![0, 0, 0, 1], 2);
+        assert!((q.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= k")]
+    fn out_of_range_assignment_panics() {
+        Partitioning::new(vec![0, 3], 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Partition-quality and robustness tests across graph families.
+
+use bns_graph::generators::{
+    barabasi_albert, dc_sbm, grid, power_law_degrees, ring, rmat, DcSbmParams,
+};
+use bns_graph::CsrGraph;
+use bns_partition::{
+    metrics, BfsPartitioner, HashPartitioner, MetisLikePartitioner, Objective, Partitioner,
+    RandomPartitioner,
+};
+use bns_tensor::SeededRng;
+use proptest::prelude::*;
+
+fn all_partitioners() -> Vec<Box<dyn Partitioner>> {
+    vec![
+        Box::new(RandomPartitioner),
+        Box::new(HashPartitioner),
+        Box::new(BfsPartitioner),
+        Box::new(MetisLikePartitioner::default()),
+        Box::new(MetisLikePartitioner {
+            objective: Objective::EdgeCut,
+            ..Default::default()
+        }),
+    ]
+}
+
+/// Every partitioner handles every graph family without panicking and
+/// covers all nodes.
+#[test]
+fn partitioners_handle_diverse_families() {
+    let mut rng = SeededRng::new(1);
+    let graphs: Vec<(&str, CsrGraph)> = vec![
+        ("ring", ring(120)),
+        ("grid", grid(12, 10)),
+        ("ba", barabasi_albert(300, 3, &mut rng)),
+        ("rmat", rmat(8, 900, &mut rng)),
+        ("empty-edges", CsrGraph::empty(50)),
+    ];
+    for (name, g) in &graphs {
+        for p in all_partitioners() {
+            for k in [1usize, 2, 5] {
+                let part = p.partition(g, k, 3);
+                assert_eq!(part.num_nodes(), g.num_nodes(), "{name}/{}", p.name());
+                assert_eq!(part.sizes().iter().sum::<usize>(), g.num_nodes());
+            }
+        }
+    }
+}
+
+/// On a hub-heavy BA graph the metis-like partitioner still balances.
+#[test]
+fn metis_balances_hub_graphs() {
+    let mut rng = SeededRng::new(2);
+    let g = barabasi_albert(1000, 4, &mut rng);
+    let part = MetisLikePartitioner::default().partition(&g, 8, 1);
+    assert!(part.imbalance() < 1.10, "imbalance {}", part.imbalance());
+}
+
+/// More partitions never decrease total comm volume on a fixed graph
+/// (checked across the metis partitioner's own outputs).
+#[test]
+fn comm_volume_grows_with_k() {
+    let mut rng = SeededRng::new(3);
+    let deg = power_law_degrees(1200, 3.0, 60.0, 2.2, &mut rng);
+    let block_of: Vec<usize> = (0..1200).map(|v| v % 6).collect();
+    let g = dc_sbm(
+        &DcSbmParams {
+            block_of,
+            expected_degrees: deg,
+            p_within: 0.8,
+        },
+        &mut rng,
+    );
+    let mut last = 0usize;
+    for k in [2usize, 4, 8] {
+        let part = MetisLikePartitioner::default().partition(&g, k, 0);
+        let vol = metrics::comm_volume(&g, &part);
+        assert!(
+            vol >= last,
+            "volume decreased from {last} to {vol} at k={k}"
+        );
+        last = vol;
+    }
+}
+
+/// The boundary sets computed by the metric layer are exactly the
+/// recv-needs: every boundary node has ≥1 neighbor inside the
+/// partition, every non-boundary external node has none.
+#[test]
+fn boundary_sets_are_exact() {
+    let mut rng = SeededRng::new(4);
+    let g = barabasi_albert(300, 3, &mut rng);
+    let part = RandomPartitioner.partition(&g, 4, 5);
+    let sets = metrics::boundary_sets(&g, &part);
+    for (i, set) in sets.iter().enumerate() {
+        let member: std::collections::HashSet<_> = set.iter().copied().collect();
+        for u in 0..g.num_nodes() {
+            let has_inner_neighbor = g
+                .neighbors(u)
+                .iter()
+                .any(|&v| part.part_of(v as usize) == i);
+            let external = part.part_of(u) != i;
+            assert_eq!(
+                member.contains(&u),
+                external && has_inner_neighbor,
+                "partition {i}, node {u}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Partition report fields are internally consistent on arbitrary
+    /// BA graphs.
+    #[test]
+    fn report_consistency(n in 20usize..120, k in 2usize..6, seed in 0u64..30) {
+        let mut rng = SeededRng::new(seed);
+        let g = barabasi_albert(n, 2, &mut rng);
+        let part = MetisLikePartitioner::default().partition(&g, k.min(n), seed);
+        let r = metrics::PartitionReport::of(&g, &part);
+        prop_assert_eq!(r.inner.iter().sum::<usize>(), n);
+        prop_assert_eq!(r.comm_volume, r.boundary.iter().sum::<usize>());
+        prop_assert!(r.imbalance >= 1.0 - 1e-9);
+        // Boundary of any partition can't exceed all external nodes.
+        for (i, &b) in r.boundary.iter().enumerate() {
+            prop_assert!(b <= n - r.inner[i]);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Weight initialization schemes.
+
+use crate::{Matrix, SeededRng};
+
+/// Xavier/Glorot uniform initialization: entries drawn from
+/// `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// The returned matrix has shape `(fan_in, fan_out)`, matching how the
+/// layers in `bns-nn` multiply `input (n x fan_in) * W (fan_in x fan_out)`.
+///
+/// # Example
+///
+/// ```
+/// use bns_tensor::{xavier_uniform, SeededRng};
+///
+/// let w = xavier_uniform(64, 32, &mut SeededRng::new(0));
+/// assert_eq!(w.shape(), (64, 32));
+/// ```
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::random_uniform(fan_in, fan_out, -a, a, rng)
+}
+
+/// Kaiming/He uniform initialization for ReLU networks: entries drawn from
+/// `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+pub fn kaiming_uniform(fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Matrix {
+    let a = (6.0 / fan_in as f32).sqrt();
+    Matrix::random_uniform(fan_in, fan_out, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_bounds_and_centered() {
+        let mut rng = SeededRng::new(42);
+        let w = xavier_uniform(100, 50, &mut rng);
+        let a = (6.0f32 / 150.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= a));
+        let mean = w.sum() / w.len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn kaiming_within_bounds() {
+        let mut rng = SeededRng::new(43);
+        let w = kaiming_uniform(64, 64, &mut rng);
+        let a = (6.0f32 / 64.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let w1 = xavier_uniform(10, 10, &mut SeededRng::new(7));
+        let w2 = xavier_uniform(10, 10, &mut SeededRng::new(7));
+        assert_eq!(w1, w2);
+    }
+}

@@ -1,0 +1,33 @@
+//! Dense `f32` matrix kernels and seeded randomness for the BNS-GCN
+//! reproduction.
+//!
+//! The training stack in this workspace is deliberately BLAS-free and
+//! dependency-light: everything a GraphSAGE/GCN/GAT layer needs is a
+//! row-major [`Matrix`] with a handful of kernels (matmul in its three
+//! transpose flavours, row gather/scatter, broadcast add, elementwise maps)
+//! plus a deterministic random-number source ([`SeededRng`]) for
+//! initialization, dropout and sampling.
+//!
+//! # Example
+//!
+//! ```
+//! use bns_tensor::{Matrix, SeededRng};
+//!
+//! let mut rng = SeededRng::new(7);
+//! let a = Matrix::random_normal(4, 3, 0.0, 1.0, &mut rng);
+//! let b = Matrix::random_normal(3, 2, 0.0, 1.0, &mut rng);
+//! let c = a.matmul(&b);
+//! assert_eq!((c.rows(), c.cols()), (4, 2));
+//! ```
+
+mod init;
+mod matrix;
+mod rng;
+
+pub use init::{kaiming_uniform, xavier_uniform};
+pub use matrix::Matrix;
+pub use rng::SeededRng;
+
+/// Absolute tolerance used by [`Matrix::approx_eq`] helpers in tests across
+/// the workspace.
+pub const DEFAULT_TOL: f32 = 1e-4;

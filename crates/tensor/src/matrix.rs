@@ -1,0 +1,721 @@
+//! Row-major dense `f32` matrices with the kernels needed by the neural
+//! network and training engine crates.
+
+use crate::SeededRng;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A row-major dense `f32` matrix.
+///
+/// All shape mismatches panic: the training engine builds matrices of
+/// statically-known shapes, so a mismatch is a programming error, not a
+/// recoverable condition.
+///
+/// # Example
+///
+/// ```
+/// use bns_tensor::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::eye(2);
+/// assert_eq!(a.matmul(&b), a);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for r in 0..show {
+            write!(f, "  [")?;
+            let rc = self.cols.min(8);
+            for c in 0..rc {
+                write!(f, "{:>9.4}", self[(r, c)])?;
+                if c + 1 < rc {
+                    write!(f, ", ")?;
+                }
+            }
+            if rc < self.cols {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if show < self.rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// A `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// The `n x n` identity.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: {} values cannot fill a {rows}x{cols} matrix",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(r, c)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// A matrix of i.i.d. `N(mean, std^2)` entries.
+    pub fn random_normal(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut SeededRng) -> Self {
+        Self::from_fn(rows, cols, |_, _| rng.normal(mean, std))
+    }
+
+    /// A matrix of i.i.d. uniform entries in `[lo, hi)`.
+    pub fn random_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut SeededRng) -> Self {
+        Self::from_fn(rows, cols, |_, _| rng.uniform_range(lo, hi))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its flat data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses an i-k-j loop order so the inner loop streams both operands,
+    /// which is enough for the matrix sizes in this workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} * {}x{} shape mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let n = rhs.cols;
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &rhs.data[k * n..(k + 1) * n];
+                for j in 0..n {
+                    orow[j] += a * brow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * rhs` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn: {}x{} ^T * {}x{} shape mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        let n = rhs.cols;
+        for r in 0..self.rows {
+            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
+            let brow = &rhs.data[r * n..(r + 1) * n];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += a * brow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * rhs^T` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt: {}x{} * {}x{} ^T shape mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..rhs.rows {
+                let brow = &rhs.data[j * self.cols..(j + 1) * self.cols];
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += arow[k] * brow[k];
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// The transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place `self += rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise in-place `self += alpha * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise in-place `self -= rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "sub_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+
+    /// In-place scaling by a scalar.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Elementwise (Hadamard) product as a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Adds a length-`cols` row vector to every row (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != self.cols()`.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (x, b) in row.iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
+    }
+
+    /// Applies `f` elementwise, returning a new matrix.
+    pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&a| f(a)).collect())
+    }
+
+    /// Gathers the given rows into a new matrix (`out.row(i) =
+    /// self.row(idx[i])`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (i, &r) in idx.iter().enumerate() {
+            assert!(r < self.rows, "gather_rows: index {r} out of bounds");
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Adds each row of `src` into `self.row(idx[i])` (the adjoint of
+    /// [`Matrix::gather_rows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on index out of bounds or column mismatch.
+    pub fn scatter_add_rows(&mut self, idx: &[usize], src: &Matrix) {
+        assert_eq!(idx.len(), src.rows, "scatter_add_rows: index/src mismatch");
+        assert_eq!(self.cols, src.cols, "scatter_add_rows: column mismatch");
+        for (i, &r) in idx.iter().enumerate() {
+            assert!(r < self.rows, "scatter_add_rows: index {r} out of bounds");
+            let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (d, s) in dst.iter_mut().zip(src.row(i)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Vertically stacks `self` on top of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on column mismatch.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack column mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix::from_vec(self.rows + other.rows, self.cols, data)
+    }
+
+    /// Horizontally concatenates `self` with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row mismatch.
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.data[r * out.cols..r * out.cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * out.cols + self.cols..(r + 1) * out.cols].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// The sub-matrix of rows `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > rows`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "slice_rows out of bounds");
+        Matrix::from_vec(
+            end - start,
+            self.cols,
+            self.data[start * self.cols..end * self.cols].to_vec(),
+        )
+    }
+
+    /// Splits columns at `at`: returns `(self[:, ..at], self[:, at..])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > cols`.
+    pub fn split_cols(&self, at: usize) -> (Matrix, Matrix) {
+        assert!(at <= self.cols, "split_cols out of bounds");
+        let mut left = Matrix::zeros(self.rows, at);
+        let mut right = Matrix::zeros(self.rows, self.cols - at);
+        for r in 0..self.rows {
+            left.row_mut(r).copy_from_slice(&self.row(r)[..at]);
+            right.row_mut(r).copy_from_slice(&self.row(r)[at..]);
+        }
+        (left, right)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Per-column sums as a length-`cols` vector.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, x) in out.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_norm_sq(&self) -> f32 {
+        self.data.iter().map(|a| a * a).sum::<f32>()
+    }
+
+    /// Maximum absolute difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Whether all elements differ by at most `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+
+    /// Whether any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|a| !a.is_finite())
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.sub_assign(rhs);
+        out
+    }
+}
+
+impl Mul<f32> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f32) -> Matrix {
+        let mut out = self.clone();
+        out.scale(s);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = SeededRng::new(1);
+        let a = Matrix::random_normal(7, 5, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(5, 9, 0.0, 1.0, &mut rng);
+        assert!(a.matmul(&b).approx_eq(&naive_matmul(&a, &b), 1e-5));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = SeededRng::new(2);
+        let a = Matrix::random_normal(6, 4, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(6, 3, 0.0, 1.0, &mut rng);
+        assert!(a.matmul_tn(&b).approx_eq(&a.transpose().matmul(&b), 1e-5));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = SeededRng::new(3);
+        let a = Matrix::random_normal(6, 4, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(5, 4, 0.0, 1.0, &mut rng);
+        assert!(a.matmul_nt(&b).approx_eq(&a.matmul(&b.transpose()), 1e-5));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = SeededRng::new(4);
+        let a = Matrix::random_normal(5, 5, 0.0, 1.0, &mut rng);
+        assert!(a.matmul(&Matrix::eye(5)).approx_eq(&a, 1e-6));
+        assert!(Matrix::eye(5).matmul(&a).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = SeededRng::new(5);
+        let a = Matrix::random_normal(4, 7, 0.0, 1.0, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let mut rng = SeededRng::new(6);
+        let a = Matrix::random_normal(8, 3, 0.0, 1.0, &mut rng);
+        let idx = vec![1, 4, 7];
+        let g = a.gather_rows(&idx);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.row(0), a.row(1));
+        let mut z = Matrix::zeros(8, 3);
+        z.scatter_add_rows(&idx, &g);
+        for r in 0..8 {
+            if idx.contains(&r) {
+                assert_eq!(z.row(r), a.row(r));
+            } else {
+                assert!(z.row(r).iter().all(|&x| x == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_add_accumulates_duplicates() {
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut dst = Matrix::zeros(2, 2);
+        dst.scatter_add_rows(&[0, 0], &src);
+        assert_eq!(dst.row(0), &[4.0, 6.0]);
+        assert_eq!(dst.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn hstack_and_split_cols_roundtrip() {
+        let mut rng = SeededRng::new(7);
+        let a = Matrix::random_normal(4, 3, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(4, 2, 0.0, 1.0, &mut rng);
+        let c = a.hstack(&b);
+        assert_eq!(c.shape(), (4, 5));
+        let (l, r) = c.split_cols(3);
+        assert_eq!(l, a);
+        assert_eq!(r, b);
+    }
+
+    #[test]
+    fn vstack_and_slice_rows_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0]]);
+        let c = a.vstack(&b);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.slice_rows(0, 2), a);
+        assert_eq!(c.slice_rows(2, 3), b);
+    }
+
+    #[test]
+    fn broadcast_and_reductions() {
+        let mut m = Matrix::zeros(3, 2);
+        m.add_row_broadcast(&[1.0, 2.0]);
+        assert_eq!(m.sum(), 9.0);
+        assert_eq!(m.col_sums(), vec![3.0, 6.0]);
+        assert!((m.frobenius_norm() - (3.0f32 + 12.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axpy_and_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[10.0, 20.0]]);
+        let mut c = a.clone();
+        c.axpy(0.5, &b);
+        assert_eq!(c.row(0), &[6.0, 12.0]);
+        assert_eq!((&a + &b).row(0), &[11.0, 22.0]);
+        assert_eq!((&b - &a).row(0), &[9.0, 18.0]);
+        assert_eq!((&a * 3.0).row(0), &[3.0, 6.0]);
+        assert_eq!(a.hadamard(&b).row(0), &[10.0, 40.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(!m.has_non_finite());
+        m[(0, 1)] = f32::NAN;
+        assert!(m.has_non_finite());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", Matrix::zeros(0, 0));
+        assert!(!s.is_empty());
+    }
+}

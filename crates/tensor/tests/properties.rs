@@ -1,0 +1,85 @@
+//! Property-based tests for the matrix kernels.
+
+use bns_tensor::{Matrix, SeededRng};
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    /// (A B) C == A (B C) within f32 tolerance.
+    #[test]
+    fn matmul_associative(a in arb_matrix(3, 4), b in arb_matrix(4, 2), c in arb_matrix(2, 5)) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-2), "diff {}", lhs.max_abs_diff(&rhs));
+    }
+
+    /// (A B)^T == B^T A^T.
+    #[test]
+    fn transpose_of_product(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    /// matmul_tn and matmul_nt agree with explicit transposes.
+    #[test]
+    fn transpose_kernels_consistent(a in arb_matrix(5, 3), b in arb_matrix(5, 2)) {
+        prop_assert!(a.matmul_tn(&b).approx_eq(&a.transpose().matmul(&b), 1e-3));
+        let c = Matrix::from_vec(2, 3, b.as_slice()[..6].to_vec());
+        prop_assert!(a.matmul_nt(&c).approx_eq(&a.matmul(&c.transpose()), 1e-3));
+    }
+
+    /// Frobenius norm is absolutely homogeneous: ||sA|| == |s|·||A||.
+    #[test]
+    fn norm_homogeneous(a in arb_matrix(4, 4), s in -5.0f32..5.0) {
+        let scaled = &a * s;
+        let lhs = scaled.frobenius_norm();
+        let rhs = s.abs() * a.frobenius_norm();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * rhs.max(1.0));
+    }
+
+    /// vstack/slice_rows round-trips.
+    #[test]
+    fn vstack_slice_roundtrip(a in arb_matrix(3, 2), b in arb_matrix(2, 2)) {
+        let c = a.vstack(&b);
+        prop_assert_eq!(c.slice_rows(0, 3), a);
+        prop_assert_eq!(c.slice_rows(3, 5), b);
+    }
+
+    /// gather_rows(permutation) is itself a permutation of rows.
+    #[test]
+    fn gather_permutation(a in arb_matrix(6, 3), seed in 0u64..100) {
+        let mut rng = SeededRng::new(seed);
+        let perm = rng.permutation(6);
+        let g = a.gather_rows(&perm);
+        for (i, &p) in perm.iter().enumerate() {
+            prop_assert_eq!(g.row(i), a.row(p));
+        }
+    }
+
+    /// scatter_add is the adjoint of gather: <gather(x), y> == <x, scatter(y)>.
+    #[test]
+    fn gather_scatter_adjoint(a in arb_matrix(6, 2), b in arb_matrix(3, 2), seed in 0u64..100) {
+        let mut rng = SeededRng::new(seed);
+        let idx = rng.sample_distinct(6, 3);
+        let ga = a.gather_rows(&idx);
+        let mut sb = Matrix::zeros(6, 2);
+        sb.scatter_add_rows(&idx, &b);
+        let lhs: f32 = ga.hadamard(&b).sum();
+        let rhs: f32 = a.hadamard(&sb).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0));
+    }
+
+    /// axpy matches the operator formulation.
+    #[test]
+    fn axpy_matches_ops(a in arb_matrix(3, 3), b in arb_matrix(3, 3), s in -3.0f32..3.0) {
+        let mut c = a.clone();
+        c.axpy(s, &b);
+        let expect = &a + &(&b * s);
+        prop_assert!(c.approx_eq(&expect, 1e-4));
+    }
+}

@@ -1,0 +1,14 @@
+//! Workspace umbrella crate for the BNS-GCN reproduction.
+//!
+//! This crate exists so the repository root can host `examples/` and
+//! `tests/` that exercise the public APIs of all member crates. See the
+//! individual crates (`bns-gcn`, `bns-graph`, ...) for the actual library
+//! surface.
+
+pub use bns_comm as comm;
+pub use bns_data as data;
+pub use bns_gcn as gcn;
+pub use bns_graph as graph;
+pub use bns_nn as nn;
+pub use bns_partition as partition;
+pub use bns_tensor as tensor;

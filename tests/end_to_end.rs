@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: dataset → partitioner → plan →
+//! distributed engine, exercising the public API end to end.
+
+use bns_data::SyntheticSpec;
+use bns_gcn::engine::{train, train_with_plan, ModelArch, TrainConfig};
+use bns_gcn::fullgraph::{train_full, FullGraphConfig};
+use bns_gcn::plan::PartitionPlan;
+use bns_gcn::sampling::BoundarySampling;
+use bns_partition::{metrics, MetisLikePartitioner, Partitioner, RandomPartitioner};
+use std::sync::Arc;
+
+fn dataset() -> Arc<bns_data::Dataset> {
+    Arc::new(SyntheticSpec::reddit_sim().with_nodes(800).generate(99))
+}
+
+fn base_cfg() -> TrainConfig {
+    TrainConfig {
+        arch: ModelArch::Sage,
+        hidden: vec![32],
+        dropout: 0.0,
+        lr: 0.01,
+        epochs: 25,
+        sampling: BoundarySampling::Bns { p: 0.5 },
+        eval_every: 0,
+        seed: 5,
+        clip_norm: None,
+        pipeline: false,
+    }
+}
+
+/// Full pipeline: synthesize, partition, train distributed, verify the
+/// model actually learned (vs. the 1/16 chance level).
+#[test]
+fn pipeline_learns_above_chance() {
+    let ds = dataset();
+    let part = MetisLikePartitioner::default().partition(&ds.graph, 4, 0);
+    let run = train(&ds, &part, &base_cfg());
+    assert!(run.final_test > 0.5, "test accuracy {}", run.final_test);
+    assert!(run.final_val > 0.5, "val accuracy {}", run.final_val);
+}
+
+/// The same configuration must produce bit-identical loss curves across
+/// invocations (thread scheduling must not leak into results).
+#[test]
+fn distributed_training_is_deterministic() {
+    let ds = dataset();
+    let part = MetisLikePartitioner::default().partition(&ds.graph, 3, 1);
+    let mut cfg = base_cfg();
+    cfg.epochs = 8;
+    let a = train(&ds, &part, &cfg);
+    let b = train(&ds, &part, &cfg);
+    let la: Vec<f64> = a.epochs.iter().map(|e| e.loss).collect();
+    let lb: Vec<f64> = b.epochs.iter().map(|e| e.loss).collect();
+    assert_eq!(la, lb);
+    assert_eq!(a.final_test, b.final_test);
+}
+
+/// p=1 distributed training equals single-process full-graph training;
+/// and the result is invariant to the number of partitions.
+#[test]
+fn p1_equals_fullgraph_for_any_partitioning() {
+    let ds = dataset();
+    let mut cfg = base_cfg();
+    cfg.epochs = 5;
+    cfg.sampling = BoundarySampling::Bns { p: 1.0 };
+    let full = train_full(
+        &ds,
+        &FullGraphConfig {
+            hidden: vec![32],
+            dropout: 0.0,
+            lr: 0.01,
+            epochs: 5,
+            seed: 5,
+        },
+    );
+    for (partitioner, k) in [
+        ("metis", 3usize),
+        ("random", 5),
+    ] {
+        let part = if partitioner == "metis" {
+            MetisLikePartitioner::default().partition(&ds.graph, k, 0)
+        } else {
+            RandomPartitioner.partition(&ds.graph, k, 0)
+        };
+        let run = train(&ds, &part, &cfg);
+        for (e, (a, b)) in run
+            .epochs
+            .iter()
+            .map(|s| s.loss)
+            .zip(&full.losses)
+            .enumerate()
+        {
+            assert!(
+                (a - b).abs() < 3e-3 * b.abs().max(1.0),
+                "{partitioner} k={k} epoch {e}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+/// Communication volume at p=1 equals the metric-layer prediction
+/// (Eq. 3), wired through three crates: partition metrics, plan and the
+/// engine's byte counters.
+#[test]
+fn comm_volume_consistency_across_crates() {
+    let ds = dataset();
+    let part = RandomPartitioner.partition(&ds.graph, 4, 2);
+    let metric_volume = metrics::comm_volume(&ds.graph, &part);
+    let plan = PartitionPlan::build(&ds, &part);
+    assert_eq!(plan.total_boundary(), metric_volume);
+    let boundary_counts = metrics::boundary_counts(&ds.graph, &part);
+    for (p, &c) in plan.parts.iter().zip(&boundary_counts) {
+        assert_eq!(p.n_boundary(), c);
+    }
+}
+
+/// Boundary traffic scales ~linearly with p while accuracy stays in a
+/// narrow band — the paper's headline trade-off.
+#[test]
+fn traffic_scales_with_p_accuracy_does_not() {
+    let ds = dataset();
+    let part = MetisLikePartitioner::default().partition(&ds.graph, 4, 3);
+    let plan = Arc::new(PartitionPlan::build(&ds, &part));
+    let mut accs = Vec::new();
+    let mut bytes = Vec::new();
+    for p in [1.0, 0.25] {
+        let mut cfg = base_cfg();
+        cfg.sampling = BoundarySampling::Bns { p };
+        cfg.epochs = 30;
+        let run = train_with_plan(&plan, &cfg);
+        accs.push(run.final_test);
+        bytes.push(run.total_boundary_bytes() as f64);
+    }
+    let ratio = bytes[1] / bytes[0];
+    assert!((ratio - 0.25).abs() < 0.08, "traffic ratio {ratio}");
+    assert!(
+        (accs[0] - accs[1]).abs() < 0.08,
+        "accuracy gap too large: {accs:?}"
+    );
+}
+
+/// Multi-label (Yelp-style) datasets flow through the same pipeline
+/// with BCE + micro-F1.
+#[test]
+fn multilabel_pipeline() {
+    let ds = Arc::new(SyntheticSpec::yelp_sim().with_nodes(600).generate(8));
+    let part = MetisLikePartitioner::default().partition(&ds.graph, 2, 0);
+    let mut cfg = base_cfg();
+    cfg.epochs = 60;
+    cfg.lr = 0.02;
+    let run = train(&ds, &part, &cfg);
+    assert!(run.final_test > 0.15, "micro-F1 {}", run.final_test);
+}
+
+/// GAT flows through the same engine.
+#[test]
+fn gat_pipeline() {
+    let ds = dataset();
+    let part = MetisLikePartitioner::default().partition(&ds.graph, 2, 0);
+    let mut cfg = base_cfg();
+    cfg.arch = ModelArch::Gat;
+    cfg.epochs = 20;
+    let run = train(&ds, &part, &cfg);
+    assert!(run.final_test > 0.3, "GAT accuracy {}", run.final_test);
+}
+
+/// The degenerate sampling rates: p=0 trains fully isolated (still
+/// learns something from features), p=1 is exact.
+#[test]
+fn extreme_sampling_rates() {
+    let ds = dataset();
+    let part = MetisLikePartitioner::default().partition(&ds.graph, 3, 0);
+    for p in [0.0, 1.0] {
+        let mut cfg = base_cfg();
+        cfg.sampling = BoundarySampling::Bns { p };
+        let run = train(&ds, &part, &cfg);
+        assert!(run.final_test > 0.3, "p={p} accuracy {}", run.final_test);
+    }
+}

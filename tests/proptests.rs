@@ -1,0 +1,120 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use bns_graph::{generators, CsrGraph, GraphBuilder};
+use bns_partition::{metrics, MetisLikePartitioner, Partitioner, Partitioning, RandomPartitioner};
+use bns_tensor::{Matrix, SeededRng};
+use proptest::prelude::*;
+
+/// An arbitrary small graph from random edges.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (5usize..60, proptest::collection::vec((0usize..60, 0usize..60), 0..200)).prop_map(
+        |(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u < n && v < n {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        },
+    )
+}
+
+proptest! {
+    /// CSR invariants hold for any edge soup.
+    #[test]
+    fn graph_always_valid(g in arb_graph()) {
+        prop_assert!(g.validate().is_ok());
+    }
+
+    /// The Eq. 3 identity: total send volume == total boundary nodes,
+    /// for any graph and any assignment.
+    #[test]
+    fn eq3_identity(g in arb_graph(), k in 1usize..6, seed in 0u64..50) {
+        let k = k.min(g.num_nodes());
+        let part = RandomPartitioner.partition(&g, k, seed);
+        let sends: usize = metrics::send_volumes(&g, &part).iter().sum();
+        let bounds: usize = metrics::boundary_counts(&g, &part).iter().sum();
+        prop_assert_eq!(sends, bounds);
+    }
+
+    /// Every partitioner output covers all nodes with valid part ids.
+    #[test]
+    fn partitioners_produce_valid_assignments(g in arb_graph(), k in 1usize..5, seed in 0u64..20) {
+        let k = k.min(g.num_nodes());
+        for part in [
+            RandomPartitioner.partition(&g, k, seed),
+            MetisLikePartitioner::default().partition(&g, k, seed),
+        ] {
+            prop_assert_eq!(part.num_nodes(), g.num_nodes());
+            prop_assert_eq!(part.num_parts(), k);
+            prop_assert_eq!(part.sizes().iter().sum::<usize>(), g.num_nodes());
+        }
+    }
+
+    /// comm_volume is monotone non-increasing when merging partitions
+    /// (merging can only remove boundary relations).
+    #[test]
+    fn merging_partitions_reduces_volume(g in arb_graph(), seed in 0u64..20) {
+        if g.num_nodes() < 4 { return Ok(()); }
+        let part4 = RandomPartitioner.partition(&g, 4, seed);
+        // Merge parts {0,1} and {2,3}.
+        let merged: Vec<usize> = part4.assignments().iter().map(|&p| p / 2).collect();
+        let part2 = Partitioning::new(merged, 2);
+        prop_assert!(
+            metrics::comm_volume(&g, &part2) <= metrics::comm_volume(&g, &part4)
+        );
+    }
+
+    /// Matmul distributes over addition (the linear algebra the layers
+    /// rely on).
+    #[test]
+    fn matmul_distributes(seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let a = Matrix::random_normal(4, 5, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(5, 3, 0.0, 1.0, &mut rng);
+        let c = Matrix::random_normal(5, 3, 0.0, 1.0, &mut rng);
+        let lhs = a.matmul(&(&b + &c));
+        let rhs = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    /// Aggregation adjoint property <Ax, y> == <x, A'y> for arbitrary
+    /// graphs and scales.
+    #[test]
+    fn aggregate_adjoint(g in arb_graph(), seed in 0u64..100) {
+        let n = g.num_nodes();
+        let mut rng = SeededRng::new(seed);
+        let scale: Vec<f32> = (0..n).map(|_| rng.uniform_range(0.1, 1.5)).collect();
+        let x = Matrix::random_normal(n, 2, 0.0, 1.0, &mut rng);
+        let y = Matrix::random_normal(n, 2, 0.0, 1.0, &mut rng);
+        let ax = bns_nn::aggregate::scaled_sum_aggregate(&g, &x, n, &scale);
+        let aty = bns_nn::aggregate::scaled_sum_aggregate_backward(&g, &y, n, &scale);
+        let lhs: f32 = ax.hadamard(&y).sum();
+        let rhs: f32 = x.hadamard(&aty).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0));
+    }
+
+    /// Power-law degree draws respect their bounds.
+    #[test]
+    fn power_law_within_bounds(seed in 0u64..100) {
+        let mut rng = SeededRng::new(seed);
+        let d = generators::power_law_degrees(200, 2.0, 50.0, 2.5, &mut rng);
+        prop_assert!(d.iter().all(|&x| (2.0..=50.0).contains(&x)));
+    }
+
+    /// Induced subgraphs never contain edges absent from the parent.
+    #[test]
+    fn induced_subgraph_edges_exist_in_parent(g in arb_graph(), seed in 0u64..20) {
+        let n = g.num_nodes();
+        let mut rng = SeededRng::new(seed);
+        let size = (n / 2).max(1);
+        let nodes = rng.sample_distinct(n, size);
+        let sub = g.induced_subgraph(&nodes);
+        for (lu, lv) in sub.graph.edges() {
+            let gu = sub.local_to_global[lu];
+            let gv = sub.local_to_global[lv];
+            prop_assert!(g.has_edge(gu, gv));
+        }
+    }
+}
