@@ -42,9 +42,7 @@ fn bench_aggregate(c: &mut Criterion) {
 fn bench_partitioners(c: &mut Criterion) {
     let ds = SyntheticSpec::reddit_sim().with_nodes(4_000).generate(1);
     c.bench_function("metis_like_partition_4k_k8", |bch| {
-        bch.iter(|| {
-            black_box(MetisLikePartitioner::default().partition(&ds.graph, 8, 0))
-        });
+        bch.iter(|| black_box(MetisLikePartitioner::default().partition(&ds.graph, 8, 0)));
     });
     c.bench_function("random_partition_4k_k8", |bch| {
         bch.iter(|| black_box(RandomPartitioner.partition(&ds.graph, 8, 0)));

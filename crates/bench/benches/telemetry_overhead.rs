@@ -1,0 +1,80 @@
+//! Measures the cost of a `bns-telemetry` span guard in its three
+//! states:
+//!
+//! * **enabled** — capture feature compiled in, runtime flag on: the
+//!   guard clones its args, reads two `Instant`s and pushes one event
+//!   into a sharded collector.
+//! * **disabled** — feature compiled in, runtime flag off: the guard
+//!   is one relaxed atomic load and holds nothing.
+//! * **baseline** — no guard at all. With the `capture` feature
+//!   compiled out, `is_enabled()` is a compile-time `false` and the
+//!   guard code folds away, so the compiled-out cost equals this
+//!   baseline (build the workspace with
+//!   `--no-default-features -p bns-telemetry` to verify).
+//!
+//! The instrumented trainer opens a handful of spans per layer per
+//! epoch — microseconds of work each — so any per-guard cost in the
+//! tens of nanoseconds keeps total overhead far below the 2% budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// The work a span typically wraps in the engine, kept tiny so the
+/// guard cost is visible rather than drowned out.
+#[inline]
+fn payload(x: u64) -> u64 {
+    black_box(x.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17))
+}
+
+fn bench_span_guard(c: &mut Criterion) {
+    c.bench_function("span_baseline_no_guard", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = payload(x);
+            x
+        });
+    });
+
+    bns_telemetry::disable();
+    c.bench_function("span_guard_disabled", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            let _g = bns_telemetry::span!("bench", iter = x);
+            x = payload(x);
+            x
+        });
+    });
+
+    bns_telemetry::enable();
+    c.bench_function("span_guard_enabled", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            let _g = bns_telemetry::span!("bench", iter = x);
+            x = payload(x);
+            x
+        });
+    });
+
+    c.bench_function("timed_enabled", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            let t = bns_telemetry::Timed::start("bench_timed");
+            x = payload(x);
+            black_box(t.stop());
+            x
+        });
+    });
+
+    // Throw away whatever the enabled benches accumulated so a stray
+    // `cargo bench` never holds gigabytes of span events.
+    bns_telemetry::disable();
+    let drained = bns_telemetry::drain_spans();
+    black_box(drained.len());
+}
+
+criterion_group!(
+    name = telemetry;
+    config = Criterion::default().sample_size(30);
+    targets = bench_span_guard
+);
+criterion_main!(telemetry);

@@ -2,13 +2,20 @@
 //! on the synthetic stand-in datasets.
 //!
 //! ```text
-//! repro <experiment> [--scale small|full]
+//! repro <experiment> [--scale small|full] [--trace <path>]
+//!        [--flame <path>] [--metrics <path>]
 //! repro all [--scale small|full]
 //! ```
 //!
 //! Experiments: table1, table2, fig3, fig4, table4, table5, fig5,
 //! table6, fig6, fig7, fig8, table7, table8, table9, table10, table11,
 //! table12, table13, fig9.
+//!
+//! `--trace` enables telemetry capture and writes a Chrome trace-event
+//! JSON profile of the run (open in `chrome://tracing` or Perfetto);
+//! `--flame` writes a per-rank plain-text span summary and `--metrics`
+//! a CSV of counters/gauges/time series. Any of the three turns
+//! capture on.
 
 use bns_bench::*;
 
@@ -16,6 +23,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
     let mut exps: Vec<String> = Vec::new();
+    let mut trace_path: Option<String> = None;
+    let mut flame_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let path_arg = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} expects a file path");
+            std::process::exit(2);
+        })
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -29,29 +46,84 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--trace" => trace_path = Some(path_arg(&args, &mut i, "--trace")),
+            "--flame" => flame_path = Some(path_arg(&args, &mut i, "--flame")),
+            "--metrics" => metrics_path = Some(path_arg(&args, &mut i, "--metrics")),
             other => exps.push(other.to_string()),
         }
         i += 1;
     }
     if exps.is_empty() {
-        eprintln!("usage: repro <experiment|all> [--scale small|full]");
+        eprintln!(
+            "usage: repro <experiment|all> [--scale small|full] [--trace <path>] \
+             [--flame <path>] [--metrics <path>]"
+        );
         eprintln!("{}", EXPERIMENTS.join(", "));
         std::process::exit(2);
     }
     if exps.iter().any(|e| e == "all") {
         exps = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
+
+    let capture = trace_path.is_some() || flame_path.is_some() || metrics_path.is_some();
+    if capture {
+        bns_telemetry::enable();
+    }
+
     for e in &exps {
         let t0 = std::time::Instant::now();
         println!("\n==== {e} (scale: {scale:?}) ====");
         run_experiment(e, scale);
         println!("[{e} finished in {:.1}s]", t0.elapsed().as_secs_f64());
     }
+
+    if capture {
+        bns_telemetry::disable();
+        let spans = bns_telemetry::drain_spans();
+        if let Some(path) = &trace_path {
+            write_or_die(path, &bns_telemetry::export::chrome_trace(&spans));
+            println!("[trace: {} spans -> {path}]", spans.len());
+        }
+        if let Some(path) = &flame_path {
+            write_or_die(path, &bns_telemetry::export::flame_summary(&spans));
+            println!("[flame summary -> {path}]");
+        }
+        if let Some(path) = &metrics_path {
+            let snapshot = bns_telemetry::metrics_snapshot();
+            write_or_die(path, &bns_telemetry::export::csv_time_series(&snapshot));
+            println!("[metrics csv -> {path}]");
+        }
+    }
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
 }
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "fig3", "fig4", "table4", "table5", "fig5", "table6", "fig6", "fig7",
-    "fig8", "table7", "table8", "table9", "table10", "table11", "table12", "table13", "fig9", "ablations",
+    "table1",
+    "table2",
+    "fig3",
+    "fig4",
+    "table4",
+    "table5",
+    "fig5",
+    "table6",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+    "table13",
+    "fig9",
+    "ablations",
 ];
 
 fn run_experiment(name: &str, scale: Scale) {

@@ -38,7 +38,10 @@ pub fn ablation_rescale(scale: Scale) {
     let epochs = scale.epochs(40, 120);
     let mut rows = Vec::new();
     for p in [0.5, 0.2, 0.1] {
-        let scaled = train_with_plan(&plan, &cfg(BoundarySampling::Bns { p }, epochs, ModelArch::Sage));
+        let scaled = train_with_plan(
+            &plan,
+            &cfg(BoundarySampling::Bns { p }, epochs, ModelArch::Sage),
+        );
         let unscaled = train_with_plan(
             &plan,
             &cfg(BoundarySampling::BnsUnscaled { p }, epochs, ModelArch::Sage),
@@ -87,7 +90,12 @@ pub fn ablation_objective(scale: Scale) {
     }
     print_table(
         &format!("Ablation B: refinement objective, reddit-sim, {k} partitions"),
-        &["objective", "edge cut", "comm volume", "BNS(0.1) epoch comm"],
+        &[
+            "objective",
+            "edge cut",
+            "comm volume",
+            "BNS(0.1) epoch comm",
+        ],
         &rows,
     );
 }
@@ -142,7 +150,11 @@ pub fn ablation_pipeline(scale: Scale) {
         c.pipeline = pipeline;
         let run = train_with_plan(&plan, &c);
         let sim = run.avg_sim_epoch_scaled(&cost, w);
-        let t = if pipeline { sim.pipelined_total() } else { sim.total() };
+        let t = if pipeline {
+            sim.pipelined_total()
+        } else {
+            sim.total()
+        };
         rows.push(vec![
             label.to_string(),
             f3(run.final_test * 100.0),
@@ -150,8 +162,16 @@ pub fn ablation_pipeline(scale: Scale) {
             format!("{:.2}MB", run.epoch_comm_mb()),
         ]);
     };
-    run_case("sync p=1 (vanilla)", BoundarySampling::Bns { p: 1.0 }, false);
-    run_case("pipelined p=1 (PipeGCN-style)", BoundarySampling::Bns { p: 1.0 }, true);
+    run_case(
+        "sync p=1 (vanilla)",
+        BoundarySampling::Bns { p: 1.0 },
+        false,
+    );
+    run_case(
+        "pipelined p=1 (PipeGCN-style)",
+        BoundarySampling::Bns { p: 1.0 },
+        true,
+    );
     run_case("BNS p=0.1", BoundarySampling::Bns { p: 0.1 }, false);
     run_case("BNS p=0.01", BoundarySampling::Bns { p: 0.01 }, false);
     print_table(

@@ -120,7 +120,10 @@ pub fn table4(scale: Scale) {
             rows.push(vec![run.method.to_string(), f3(run.final_test * 100.0)]);
         }
         print_table(
-            &format!("Table 4a: sampling-based baselines, {} (test score %)", s.name),
+            &format!(
+                "Table 4a: sampling-based baselines, {} (test score %)",
+                s.name
+            ),
             &["method", "score"],
             &rows,
         );
@@ -240,7 +243,11 @@ pub fn table13(scale: Scale) {
         .chain(ps.iter().map(|p| format!("p={p}")))
         .collect();
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    print_table("Table 13: test accuracy vs sampling rate p", &header_refs, &rows);
+    print_table(
+        "Table 13: test accuracy vs sampling rate p",
+        &header_refs,
+        &rows,
+    );
 }
 
 /// Convergence curves (test accuracy vs epoch): Figure 7 on
@@ -283,7 +290,11 @@ pub fn convergence(scale: Scale, which: &str) {
             print_table(
                 &format!(
                     "{}: test-score convergence, {} ({k} partitions)",
-                    if which == "fig7" { "Figure 7" } else { "Figure 9" },
+                    if which == "fig7" {
+                        "Figure 7"
+                    } else {
+                        "Figure 9"
+                    },
                     s.name
                 ),
                 &header_refs,

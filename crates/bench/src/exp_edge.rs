@@ -33,12 +33,30 @@ fn cut_edges(plan: &PartitionPlan) -> usize {
 /// score for DropEdge, BES and BNS-GCN at an equal dropped-edge budget.
 pub fn table9(scale: Scale) {
     let p = 0.1; // BNS rate the paper matches against
-    // (name, dataset, partitions, lr, epochs): yelp's multi-label BCE
-    // needs the long schedule before micro-F1 lifts off.
+                 // (name, dataset, partitions, lr, epochs): yelp's multi-label BCE
+                 // needs the long schedule before micro-F1 lifts off.
     let sets = [
-        ("reddit-sim", crate::reddit(scale), 2usize, 0.01f32, scale.epochs(30, 80)),
-        ("products-sim", crate::products(scale), 5, 0.01, scale.epochs(30, 80)),
-        ("yelp-sim", crate::yelp(scale), 3, 0.02, scale.epochs(200, 400)),
+        (
+            "reddit-sim",
+            crate::reddit(scale),
+            2usize,
+            0.01f32,
+            scale.epochs(30, 80),
+        ),
+        (
+            "products-sim",
+            crate::products(scale),
+            5,
+            0.01,
+            scale.epochs(30, 80),
+        ),
+        (
+            "yelp-sim",
+            crate::yelp(scale),
+            3,
+            0.02,
+            scale.epochs(200, 400),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, ds, k, lr, epochs) in sets {
@@ -51,7 +69,12 @@ pub fn table9(scale: Scale) {
         let dropedge_keep = (1.0 - dropped / total_dir).clamp(0.0, 1.0);
         let bes_keep = p;
         for (label, sampling) in [
-            ("DropEdge", BoundarySampling::DropEdge { keep: dropedge_keep }),
+            (
+                "DropEdge",
+                BoundarySampling::DropEdge {
+                    keep: dropedge_keep,
+                },
+            ),
             ("BES", BoundarySampling::BoundaryEdge { keep: bes_keep }),
             ("BNS-GCN", BoundarySampling::Bns { p }),
         ] {
@@ -80,7 +103,13 @@ pub fn table9(scale: Scale) {
     }
     print_table(
         "Table 9: BNS-GCN vs edge sampling at matched dropped-edge budget",
-        &["dataset", "method", "epoch comm", "sim epoch time", "test score (%)"],
+        &[
+            "dataset",
+            "method",
+            "epoch comm",
+            "sim epoch time",
+            "test score (%)",
+        ],
         &rows,
     );
 }

@@ -51,7 +51,12 @@ pub fn fig6(scale: Scale) {
         }
         print_table(
             &format!("Figure 6: peak-memory reduction vs p=1, {name}"),
-            &["#partitions", "mem @ p=1", "saving @ p=0.1", "saving @ p=0.01"],
+            &[
+                "#partitions",
+                "mem @ p=1",
+                "saving @ p=0.1",
+                "saving @ p=0.01",
+            ],
             &rows,
         );
     }

@@ -3,9 +3,7 @@
 //! the boundary-count column of Table 8.
 
 use crate::{f2, print_table, Scale};
-use bns_partition::{
-    metrics, MetisLikePartitioner, Partitioner, Partitioning, RandomPartitioner,
-};
+use bns_partition::{metrics, MetisLikePartitioner, Partitioner, Partitioning, RandomPartitioner};
 
 /// Paper Table 1: inner / boundary node counts and their ratio for a
 /// 10-way METIS-like partition of reddit-sim.
@@ -16,7 +14,12 @@ pub fn table1(scale: Scale) {
     let mut rows = Vec::new();
     rows.push(
         std::iter::once("# Inner Nodes".to_string())
-            .chain(report.inner.iter().map(|x| format!("{:.1}k", *x as f64 / 1e3)))
+            .chain(
+                report
+                    .inner
+                    .iter()
+                    .map(|x| format!("{:.1}k", *x as f64 / 1e3)),
+            )
             .collect(),
     );
     rows.push(

@@ -84,12 +84,19 @@ pub fn table11(scale: Scale) {
 pub fn table8(scale: Scale) {
     let structure = crate::exp_partition::table8_partitions(scale);
     let cost = CostModel::pcie3();
-    let datasets = [crate::reddit(scale), crate::products(scale), crate::yelp(scale)];
+    let datasets = [
+        crate::reddit(scale),
+        crate::products(scale),
+        crate::yelp(scale),
+    ];
     let ks = [8usize, 10, 10];
     let mut rows = Vec::new();
     for ((name, _, _), (ds, k)) in structure.iter().zip(datasets.iter().zip(ks)) {
         for (label, part) in [
-            ("METIS", MetisLikePartitioner::default().partition(&ds.graph, k, 0)),
+            (
+                "METIS",
+                MetisLikePartitioner::default().partition(&ds.graph, k, 0),
+            ),
             ("Random", RandomPartitioner.partition(&ds.graph, k, 0)),
         ] {
             let plan = Arc::new(PartitionPlan::build(ds, &part));

@@ -42,12 +42,7 @@ fn timing_cfg(scale: Scale, paper_hidden: &[usize], sampling: BoundarySampling) 
 /// same workload scale used for the BNS timings.
 fn workloads(ds: &Dataset, plan: &PartitionPlan, dims: &[usize]) -> Vec<LayerWorkload> {
     let s = crate::wscale(ds);
-    let max_boundary = plan
-        .parts
-        .iter()
-        .map(|p| p.n_boundary())
-        .max()
-        .unwrap_or(0);
+    let max_boundary = plan.parts.iter().map(|p| p.n_boundary()).max().unwrap_or(0);
     dims[..dims.len() - 1]
         .iter()
         .map(|&d| LayerWorkload {
@@ -64,16 +59,35 @@ fn run_for(plan: &Arc<PartitionPlan>, cfg: &TrainConfig) -> TrainRun {
     train_with_plan(plan, cfg)
 }
 
+/// One experiment row: dataset label, dataset, partition counts to
+/// sweep, and the paper model's hidden dims.
+type DatasetSweep<'a> = (&'a str, Arc<Dataset>, Vec<usize>, &'a [usize]);
+
 /// Paper Figure 4: training throughput (epochs/s under the PCIe cost
 /// model) of BNS-GCN at p ∈ {1, 0.1, 0.01} vs ROC-sim and CAGNET-sim
 /// (c=2), across partition counts.
 pub fn fig4(scale: Scale) {
     let cost = CostModel::pcie3();
     let swap = CostModel::swap_link();
-    let sets: Vec<(&str, Arc<Dataset>, Vec<usize>, &[usize])> = vec![
-        ("reddit-sim", crate::reddit(scale), vec![2, 4, 8], &[256, 256, 256]),
-        ("products-sim", crate::products(scale), vec![5, 8, 10], &[128, 128]),
-        ("yelp-sim", crate::yelp(scale), vec![3, 6, 10], &[256, 256, 256]),
+    let sets: Vec<DatasetSweep> = vec![
+        (
+            "reddit-sim",
+            crate::reddit(scale),
+            vec![2, 4, 8],
+            &[256, 256, 256],
+        ),
+        (
+            "products-sim",
+            crate::products(scale),
+            vec![5, 8, 10],
+            &[128, 128],
+        ),
+        (
+            "yelp-sim",
+            crate::yelp(scale),
+            vec![3, 6, 10],
+            &[256, 256, 256],
+        ),
     ];
     for (name, ds, ks, paper_hidden) in sets {
         let mut rows = Vec::new();
@@ -115,9 +129,19 @@ pub fn fig4(scale: Scale) {
 /// partition counts and sampling rates.
 pub fn fig5(scale: Scale) {
     let cost = CostModel::pcie3();
-    let sets: Vec<(&str, Arc<Dataset>, Vec<usize>, &[usize])> = vec![
-        ("reddit-sim", crate::reddit(scale), vec![2, 4, 8], &[256, 256, 256]),
-        ("products-sim", crate::products(scale), vec![5, 10], &[128, 128]),
+    let sets: Vec<DatasetSweep> = vec![
+        (
+            "reddit-sim",
+            crate::reddit(scale),
+            vec![2, 4, 8],
+            &[256, 256, 256],
+        ),
+        (
+            "products-sim",
+            crate::products(scale),
+            vec![5, 10],
+            &[128, 128],
+        ),
     ];
     for (name, ds, ks, paper_hidden) in sets {
         let mut rows = Vec::new();
@@ -201,10 +225,19 @@ pub fn table12(scale: Scale) {
     let ds = crate::reddit(scale);
     let mut rows = Vec::new();
     for (method, label) in [
-        (MiniBatchMethod::GraphSaintNode { nodes: 800 }, "Node sampler (GraphSAINT)"),
-        (MiniBatchMethod::GraphSaintEdge { edges: 800 }, "Edge sampler (GraphSAINT)"),
         (
-            MiniBatchMethod::GraphSaintWalk { roots: 150, length: 4 },
+            MiniBatchMethod::GraphSaintNode { nodes: 800 },
+            "Node sampler (GraphSAINT)",
+        ),
+        (
+            MiniBatchMethod::GraphSaintEdge { edges: 800 },
+            "Edge sampler (GraphSAINT)",
+        ),
+        (
+            MiniBatchMethod::GraphSaintWalk {
+                roots: 150,
+                length: 4,
+            },
             "Random-walk sampler (GraphSAINT)",
         ),
     ] {

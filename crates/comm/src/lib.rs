@@ -6,7 +6,7 @@
 //! all inter-partition traffic through this crate, which provides:
 //!
 //! * typed point-to-point [`RankComm::send`]/[`RankComm::recv`] over
-//!   crossbeam channels with tag matching,
+//!   std::sync::mpsc channels with tag matching,
 //! * the collectives the training loop needs (ring
 //!   [`RankComm::all_reduce_sum`], [`RankComm::all_gather`],
 //!   [`RankComm::barrier`], [`RankComm::broadcast`]),

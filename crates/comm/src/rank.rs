@@ -2,9 +2,9 @@
 //! collectives.
 
 use crate::{TrafficClass, TrafficStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::any::Any;
 use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 /// Anything that can be sent between ranks with a well-defined wire size.
@@ -69,7 +69,7 @@ pub fn create_world(world_size: usize) -> Vec<RankComm> {
             if i == j {
                 continue;
             }
-            let (s, r) = unbounded();
+            let (s, r) = channel();
             senders[i][j] = Some(s);
             // Rank j's receiver slot indexed by source i.
             receivers[j][i] = Some(r);
@@ -104,7 +104,11 @@ where
         .into_iter()
         .map(|comm| {
             let f = Arc::clone(&f);
-            std::thread::spawn(move || f(comm))
+            std::thread::spawn(move || {
+                // One trace timeline (tid) per rank.
+                bns_telemetry::set_thread_rank(comm.rank());
+                f(comm)
+            })
         })
         .collect();
     handles
@@ -153,6 +157,9 @@ impl RankComm {
         assert_ne!(to, self.rank, "self-send is not allowed");
         let bytes = payload.wire_bytes();
         self.stats.record(class, bytes);
+        bns_telemetry::counter_add("comm.bytes_sent", bytes as u64);
+        bns_telemetry::counter_add(class.counter_name(), bytes as u64);
+        bns_telemetry::counter_add("comm.msgs_sent", 1);
         let msg = Message {
             tag,
             payload: Box::new(payload),
@@ -230,6 +237,7 @@ impl RankComm {
     /// Panics if buffer lengths disagree across ranks (detected as a
     /// chunk-size mismatch) or ranks call collectives in different orders.
     pub fn all_reduce_sum(&mut self, buf: &mut [f32]) {
+        let _span = bns_telemetry::span!("all_reduce", elems = buf.len());
         let k = self.world;
         if k == 1 || buf.is_empty() {
             self.finish_collective();
@@ -275,6 +283,7 @@ impl RankComm {
 
     /// Gathers one value from every rank; returns them indexed by rank.
     pub fn all_gather<T: Wire + Clone>(&mut self, value: T, class: TrafficClass) -> Vec<T> {
+        let _span = bns_telemetry::span!("all_gather");
         let k = self.world;
         let tag = self.next_coll_tag(0);
         for peer in 0..k {
@@ -284,10 +293,9 @@ impl RankComm {
         }
         let mut out: Vec<Option<T>> = (0..k).map(|_| None).collect();
         out[self.rank] = Some(value);
-        for peer in 0..k {
-            if peer != self.rank {
-                out[peer] = Some(self.recv(peer, tag));
-            }
+        let me = self.rank;
+        for peer in (0..k).filter(|&p| p != me) {
+            out[peer] = Some(self.recv(peer, tag));
         }
         self.finish_collective();
         out.into_iter().map(Option::unwrap).collect()
@@ -305,7 +313,12 @@ impl RankComm {
         mut outbox: Vec<T>,
         class: TrafficClass,
     ) -> Vec<T> {
-        assert_eq!(outbox.len(), self.world, "outbox must have one entry per rank");
+        let _span = bns_telemetry::span!("all_to_all");
+        assert_eq!(
+            outbox.len(),
+            self.world,
+            "outbox must have one entry per rank"
+        );
         let tag = self.next_coll_tag(0);
         let me = self.rank;
         // Send everything first (channels are unbounded, so no deadlock).
@@ -319,10 +332,8 @@ impl RankComm {
         }
         let mut inbox: Vec<T> = (0..self.world).map(|_| T::default()).collect();
         inbox[me] = own.expect("own outbox entry present");
-        for j in 0..self.world {
-            if j != me {
-                inbox[j] = self.recv(j, tag);
-            }
+        for j in (0..self.world).filter(|&j| j != me) {
+            inbox[j] = self.recv(j, tag);
         }
         self.finish_collective();
         inbox
@@ -340,6 +351,7 @@ impl RankComm {
         value: Option<T>,
         class: TrafficClass,
     ) -> T {
+        let _span = bns_telemetry::span!("broadcast", root = root);
         let tag = self.next_coll_tag(0);
         let out = if self.rank == root {
             let v = value.expect("root must supply a value");
@@ -403,8 +415,9 @@ mod tests {
         for k in [1usize, 2, 3, 4, 7] {
             for len in [0usize, 1, 5, 16, 33] {
                 let out = run_ranks(k, move |mut c| {
-                    let mut buf: Vec<f32> =
-                        (0..len).map(|i| (c.rank() + 1) as f32 * (i + 1) as f32).collect();
+                    let mut buf: Vec<f32> = (0..len)
+                        .map(|i| (c.rank() + 1) as f32 * (i + 1) as f32)
+                        .collect();
                     c.all_reduce_sum(&mut buf);
                     buf
                 });
@@ -478,8 +491,7 @@ mod tests {
         let k = 4;
         let out = run_ranks(k, move |mut c| {
             let me = c.rank();
-            let outbox: Vec<Vec<u32>> =
-                (0..k).map(|j| vec![(me * 10 + j) as u32]).collect();
+            let outbox: Vec<Vec<u32>> = (0..k).map(|j| vec![(me * 10 + j) as u32]).collect();
             c.all_to_all(outbox, TrafficClass::Control)
         });
         for (me, inbox) in out.iter().enumerate() {

@@ -28,6 +28,15 @@ impl TrafficClass {
             TrafficClass::Control => 2,
         }
     }
+
+    /// Telemetry counter fed with bytes sent in this class.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            TrafficClass::Boundary => "comm.bytes_sent.boundary",
+            TrafficClass::AllReduce => "comm.bytes_sent.allreduce",
+            TrafficClass::Control => "comm.bytes_sent.control",
+        }
+    }
 }
 
 /// Per-rank counters of sent traffic.

@@ -1,0 +1,50 @@
+//! Property-based tests for `TrafficStats` snapshot arithmetic.
+
+use bns_comm::{TrafficClass, TrafficStats};
+use proptest::prelude::*;
+
+/// A strategy producing arbitrary traffic histories as `(class_index,
+/// bytes)` message lists, replayed through `record`.
+fn arb_stats() -> impl Strategy<Value = TrafficStats> {
+    proptest::collection::vec((0usize..3, 0usize..10_000), 0..40).prop_map(|msgs| {
+        let mut stats = TrafficStats::new();
+        for (class, bytes) in msgs {
+            stats.record(TrafficClass::ALL[class], bytes);
+        }
+        stats
+    })
+}
+
+proptest! {
+    /// `since` inverts `merge`: extending a snapshot `a` by `b` and
+    /// diffing against `a` recovers `b` exactly, per class, for both
+    /// byte and message counters.
+    #[test]
+    fn merge_then_since_roundtrips(a in arb_stats(), b in arb_stats()) {
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let diff = merged.since(&a);
+        for class in TrafficClass::ALL {
+            prop_assert_eq!(diff.bytes(class), b.bytes(class));
+            prop_assert_eq!(diff.messages(class), b.messages(class));
+        }
+        prop_assert_eq!(diff, b);
+    }
+
+    /// Diffing a history against itself is all zeros.
+    #[test]
+    fn since_self_is_zero(a in arb_stats()) {
+        let diff = a.since(&a);
+        prop_assert_eq!(diff.total_bytes(), 0);
+        prop_assert_eq!(diff.total_messages(), 0);
+    }
+
+    /// Merge accumulates totals: |a ∪ b| == |a| + |b|.
+    #[test]
+    fn merge_adds_totals(a in arb_stats(), b in arb_stats()) {
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.total_bytes(), a.total_bytes() + b.total_bytes());
+        prop_assert_eq!(merged.total_messages(), a.total_messages() + b.total_messages());
+    }
+}

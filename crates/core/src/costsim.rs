@@ -45,8 +45,7 @@ pub fn vanilla_epoch_time(layers: &[LayerWorkload], cost: &CostModel) -> f64 {
         .map(|l| {
             let bytes = 2 * l.max_boundary * l.d * 4; // fwd + bwd
             let comp = compute_flops(l);
-            cost.comm_time(bytes as u64, 2 * (l.k as u64 - 1).max(1))
-                + cost.compute_time(comp)
+            cost.comm_time(bytes as u64, 2 * (l.k as u64 - 1).max(1)) + cost.compute_time(comp)
         })
         .sum()
 }

@@ -24,9 +24,9 @@ use bns_nn::{
     SageLayer,
 };
 use bns_partition::Partitioning;
+use bns_telemetry::Timed;
 use bns_tensor::{Matrix, SeededRng};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Which model architecture the engine trains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -202,9 +202,7 @@ impl EpochStats {
         let time_class = |class: TrafficClass| {
             self.traffic_per_rank
                 .iter()
-                .map(|t| {
-                    cost.comm_time((t.bytes(class) as f64 * s) as u64, t.messages(class))
-                })
+                .map(|t| cost.comm_time((t.bytes(class) as f64 * s) as u64, t.messages(class)))
                 .fold(0.0f64, f64::max)
         };
         SimulatedEpoch {
@@ -266,7 +264,8 @@ impl TrainedModel {
         match self {
             TrainedModel::Sage(m) => {
                 let scale = ds.mean_scale();
-                m.forward_full(&ds.graph, &ds.features, &scale, false, &mut rng).0
+                m.forward_full(&ds.graph, &ds.features, &scale, false, &mut rng)
+                    .0
             }
             TrainedModel::Gat(m) => {
                 let mut h = ds.features.clone();
@@ -485,7 +484,13 @@ fn build_layers(cfg: &TrainConfig, d_in: usize, d_out: usize) -> Vec<AnyLayer> {
                 } else {
                     Activation::Relu
                 };
-                AnyLayer::Sage(SageLayer::new(dims[l], dims[l + 1], act, cfg.dropout, &mut rng))
+                AnyLayer::Sage(SageLayer::new(
+                    dims[l],
+                    dims[l + 1],
+                    act,
+                    cfg.dropout,
+                    &mut rng,
+                ))
             }
             ModelArch::Gat => {
                 let act = if l == last {
@@ -493,7 +498,13 @@ fn build_layers(cfg: &TrainConfig, d_in: usize, d_out: usize) -> Vec<AnyLayer> {
                 } else {
                     Activation::Elu
                 };
-                AnyLayer::Gat(GatLayer::new(dims[l], dims[l + 1], act, cfg.dropout, &mut rng))
+                AnyLayer::Gat(GatLayer::new(
+                    dims[l],
+                    dims[l + 1],
+                    act,
+                    cfg.dropout,
+                    &mut rng,
+                ))
             }
             ModelArch::Gcn => {
                 let act = if l == last {
@@ -501,7 +512,13 @@ fn build_layers(cfg: &TrainConfig, d_in: usize, d_out: usize) -> Vec<AnyLayer> {
                 } else {
                     Activation::Relu
                 };
-                AnyLayer::Gcn(GcnLayer::new(dims[l], dims[l + 1], act, cfg.dropout, &mut rng))
+                AnyLayer::Gcn(GcnLayer::new(
+                    dims[l],
+                    dims[l + 1],
+                    act,
+                    cfg.dropout,
+                    &mut rng,
+                ))
             }
         })
         .collect()
@@ -521,7 +538,10 @@ fn dims_of(cfg: &TrainConfig, d_in: usize, d_out: usize) -> Vec<usize> {
 
 /// Per-owner view of this rank's selected boundary nodes: `(owner,
 /// selected-index range, relative positions within the owner's block)`.
-fn per_owner_selection(lp: &LocalPartition, selected: &[usize]) -> Vec<(usize, std::ops::Range<usize>, Vec<u32>)> {
+fn per_owner_selection(
+    lp: &LocalPartition,
+    selected: &[usize],
+) -> Vec<(usize, std::ops::Range<usize>, Vec<u32>)> {
     let mut out = Vec::new();
     let mut cursor = 0usize;
     for owner in 0..lp.owner_ranges.len() {
@@ -565,15 +585,9 @@ fn exchange_selection(
     }
     // Learn which of our rows each peer selected.
     let mut rows_to_send: Vec<Vec<usize>> = vec![Vec::new(); k];
-    for j in 0..k {
-        if j == me {
-            continue;
-        }
+    for j in (0..k).filter(|&j| j != me) {
         let rel: Vec<u32> = comm.recv(j, tag);
-        rows_to_send[j] = rel
-            .iter()
-            .map(|&p| lp.send_lists[j][p as usize])
-            .collect();
+        rows_to_send[j] = rel.iter().map(|&p| lp.send_lists[j][p as usize]).collect();
     }
     EpochExchange {
         rows_to_send,
@@ -677,8 +691,7 @@ fn exchange_gradients(
         if rel.is_empty() {
             continue;
         }
-        let mut block: Vec<f32> =
-            d_bd.as_slice()[range.start * d..range.end * d].to_vec();
+        let mut block: Vec<f32> = d_bd.as_slice()[range.start * d..range.end * d].to_vec();
         if feature_scale != 1.0 {
             for x in &mut block {
                 *x *= feature_scale;
@@ -741,10 +754,8 @@ fn exchange_gradients_stale(
             fresh
         }
     };
-    let mut i = 0usize;
-    for rows in ex.rows_to_send.iter().filter(|r| !r.is_empty()) {
-        d_inner.scatter_add_rows(rows, &apply[i]);
-        i += 1;
+    for (rows, grad) in ex.rows_to_send.iter().filter(|r| !r.is_empty()).zip(&apply) {
+        d_inner.scatter_add_rows(rows, grad);
     }
 }
 
@@ -761,7 +772,7 @@ struct RankEpoch {
     traffic: TrafficStats,
     flops: f64,
     selected: usize,
-    val: Option<(u64, u64, u64)>,  // tp/correct, fp/total, fn (single uses 2)
+    val: Option<(u64, u64, u64)>, // tp/correct, fp/total, fn (single uses 2)
     test: Option<(u64, u64, u64)>,
 }
 
@@ -794,9 +805,7 @@ pub fn train_with_plan(plan: &Arc<PartitionPlan>, cfg: &TrainConfig) -> TrainRun
     let k = plan.k;
     let cfg = Arc::new(cfg.clone());
     let plan2 = Arc::clone(plan);
-    let outputs: Vec<RankOutput> = run_ranks(k, move |comm| {
-        rank_worker(comm, &plan2, &cfg)
-    });
+    let outputs: Vec<RankOutput> = run_ranks(k, move |comm| rank_worker(comm, &plan2, &cfg));
     assemble_run(plan, outputs)
 }
 
@@ -815,8 +824,10 @@ fn assemble_run(plan: &PartitionPlan, outputs: Vec<RankOutput>) -> TrainRun {
                 .map(|o| f(&o.epochs[e]))
                 .fold(0.0f64, f64::max)
         };
-        let traffic_per_rank: Vec<TrafficStats> =
-            outputs.iter().map(|o| o.epochs[e].traffic.clone()).collect();
+        let traffic_per_rank: Vec<TrafficStats> = outputs
+            .iter()
+            .map(|o| o.epochs[e].traffic.clone())
+            .collect();
         let flops_per_rank: Vec<f64> = outputs.iter().map(|o| o.epochs[e].flops).collect();
         let selected_boundary: usize = outputs.iter().map(|o| o.epochs[e].selected).sum();
         let score = |get: fn(&RankEpoch) -> Option<(u64, u64, u64)>| -> Option<f64> {
@@ -894,7 +905,14 @@ fn assemble_model(layers: Vec<AnyLayer>) -> TrainedModel {
     }
 }
 
-fn estimate_flops(arch: ModelArch, edges: usize, n_in: usize, n_act: usize, d_in: usize, d_out: usize) -> f64 {
+fn estimate_flops(
+    arch: ModelArch,
+    edges: usize,
+    n_in: usize,
+    n_act: usize,
+    d_in: usize,
+    d_out: usize,
+) -> f64 {
     let fwd = match arch {
         ModelArch::Sage => {
             2.0 * edges as f64 * d_in as f64 + 4.0 * n_in as f64 * d_in as f64 * d_out as f64
@@ -902,7 +920,9 @@ fn estimate_flops(arch: ModelArch, edges: usize, n_in: usize, n_act: usize, d_in
         ModelArch::Gat => {
             2.0 * n_act as f64 * d_in as f64 * d_out as f64 + 8.0 * edges as f64 * d_out as f64
         }
-        ModelArch::Gcn => 2.0 * edges as f64 * d_in as f64 + 2.0 * n_in as f64 * d_in as f64 * d_out as f64,
+        ModelArch::Gcn => {
+            2.0 * edges as f64 * d_in as f64 + 2.0 * n_in as f64 * d_in as f64 * d_out as f64
+        }
     };
     3.0 * fwd // forward + ~2x backward
 }
@@ -940,9 +960,10 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
     for epoch in 0..cfg.epochs {
         let tag_base = (epoch as u64) * 256;
         let traffic_start = comm.stats().clone();
+        let _epoch_span = bns_telemetry::span!("epoch", rank = me, epoch = epoch);
 
         // ---- Phase 1: boundary sampling + selection exchange ----
-        let t0 = Instant::now();
+        let t0 = Timed::with_args("sample", &[("epoch", epoch.into())]);
         let (topo, exchange): (&EpochTopology, &EpochExchange) = if cfg.sampling.is_static() {
             if static_topo.is_none() {
                 let t = build_epoch_topology(&lp, &cfg.sampling, epoch, edge_seed, &mut rng);
@@ -950,16 +971,24 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
                 static_topo = Some(t);
                 static_exchange = Some(ex);
             }
-            (static_topo.as_ref().unwrap(), static_exchange.as_ref().unwrap())
+            (
+                static_topo.as_ref().unwrap(),
+                static_exchange.as_ref().unwrap(),
+            )
         } else {
             let t = build_epoch_topology(&lp, &cfg.sampling, epoch, edge_seed, &mut rng);
             let ex = exchange_selection(&mut comm, &lp, &t.selected, tag_base);
             static_topo = Some(t);
             static_exchange = Some(ex);
-            (static_topo.as_ref().unwrap(), static_exchange.as_ref().unwrap())
+            (
+                static_topo.as_ref().unwrap(),
+                static_exchange.as_ref().unwrap(),
+            )
         };
-        let sample_s = t0.elapsed().as_secs_f64();
+        let sample_s = t0.stop();
         let n_sel = topo.selected.len();
+        bns_telemetry::counter_add("sampler.boundary_kept", n_sel as u64);
+        bns_telemetry::counter_add("sampler.boundary_total", lp.n_boundary() as u64);
 
         // ---- Phase 2+3: layer loop ----
         let mut compute_s = 0.0f64;
@@ -968,7 +997,7 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
         let mut caches: Vec<AnyCache> = Vec::with_capacity(num_layers);
         let mut h = lp.features.clone();
         for l in 0..num_layers {
-            let tc = Instant::now();
+            let tc = Timed::with_args("exchange", &[("epoch", epoch.into()), ("layer", l.into())]);
             let h_full = if cfg.pipeline {
                 exchange_features_stale(
                     &mut comm,
@@ -989,8 +1018,8 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
                     tag_base + 1 + l as u64,
                 )
             };
-            comm_s += tc.elapsed().as_secs_f64();
-            let tk = Instant::now();
+            comm_s += tc.stop();
+            let tk = Timed::with_args("compute", &[("epoch", epoch.into()), ("layer", l.into())]);
             let (h_next, cache) = layers[l].forward(
                 &topo.graph,
                 &h_full,
@@ -1000,7 +1029,7 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
                 true,
                 &mut rng,
             );
-            compute_s += tk.elapsed().as_secs_f64();
+            compute_s += tk.stop();
             flops += estimate_flops(
                 cfg.arch,
                 topo.graph.num_edges(),
@@ -1014,7 +1043,7 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
         }
 
         // ---- Loss ----
-        let tk = Instant::now();
+        let tk = Timed::with_args("compute", &[("epoch", epoch.into())]);
         let (local_loss, mut dlogits) = match &lp.labels {
             Labels::Single(labels) => {
                 let (loss, d, _) = softmax_cross_entropy(&h, labels, &lp.train_local);
@@ -1023,17 +1052,17 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
             Labels::Multi(y) => bce_with_logits(&h, y, &lp.train_local),
         };
         dlogits.scale(1.0 / plan.global_train.max(1) as f32);
-        compute_s += tk.elapsed().as_secs_f64();
+        compute_s += tk.stop();
 
         // ---- Backward ----
         let mut layer_grads: Vec<Vec<Matrix>> = Vec::with_capacity(num_layers);
         let mut d = dlogits;
         for l in (0..num_layers).rev() {
-            let tk = Instant::now();
+            let tk = Timed::with_args("compute", &[("epoch", epoch.into()), ("layer", l.into())]);
             let (dh_full, grads) = layers[l].backward(&topo.graph, &caches[l], &d);
-            compute_s += tk.elapsed().as_secs_f64();
+            compute_s += tk.stop();
             layer_grads.push(grads);
-            let tc = Instant::now();
+            let tc = Timed::with_args("exchange", &[("epoch", epoch.into()), ("layer", l.into())]);
             let mut d_inner = dh_full.slice_rows(0, n_in);
             if n_sel > 0 || exchange.rows_to_send.iter().any(|r| !r.is_empty()) {
                 let d_bd = dh_full.slice_rows(n_in, n_in + n_sel);
@@ -1058,19 +1087,23 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
                     );
                 }
             }
-            comm_s += tc.elapsed().as_secs_f64();
+            comm_s += tc.stop();
             d = d_inner;
         }
         layer_grads.reverse();
 
         // ---- Gradient all-reduce + step ----
-        let tr = Instant::now();
+        let tr = Timed::with_args("reduce", &[("epoch", epoch.into())]);
         let grad_refs: Vec<&Matrix> = layer_grads.iter().flatten().collect();
         let mut flat = flatten(&grad_refs);
         flat.push(local_loss as f32);
         comm.all_reduce_sum(&mut flat);
         let global_loss = *flat.last().unwrap() as f64 / plan.global_train.max(1) as f64;
         flat.pop();
+        if me == 0 {
+            bns_telemetry::gauge_set("epoch.loss", global_loss);
+            bns_telemetry::series_push("epoch.loss", epoch as u64, global_loss);
+        }
         if let Some(clip) = cfg.clip_norm {
             let norm = flat.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt() as f32;
             if norm > clip {
@@ -1094,7 +1127,7 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
                 layers.iter_mut().flat_map(|l| l.params_mut()).collect();
             opt.step(&mut params, &g_refs);
         }
-        let reduce_s = tr.elapsed().as_secs_f64();
+        let reduce_s = tr.stop();
 
         // ---- Memory model ----
         let mem = epoch_activation_bytes(n_in, n_sel, &dims, cfg.dropout > 0.0);
@@ -1105,9 +1138,10 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
         let traffic = comm.stats().since(&traffic_start);
 
         // ---- Evaluation ----
-        let do_eval = epoch + 1 == cfg.epochs
-            || (cfg.eval_every > 0 && (epoch + 1) % cfg.eval_every == 0);
+        let do_eval =
+            epoch + 1 == cfg.epochs || (cfg.eval_every > 0 && (epoch + 1) % cfg.eval_every == 0);
         let (val, test) = if do_eval {
+            let _eval_span = bns_telemetry::span!("eval", epoch = epoch);
             if full_exchange.is_none() {
                 full_exchange = Some(exchange_selection(
                     &mut comm,
@@ -1150,7 +1184,10 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
                     }
                 }
             };
-            (Some(score_of(&lp.val_local)), Some(score_of(&lp.test_local)))
+            (
+                Some(score_of(&lp.val_local)),
+                Some(score_of(&lp.test_local)),
+            )
         } else {
             (None, None)
         };
@@ -1185,6 +1222,21 @@ mod tests {
 
     fn small_ds() -> Arc<Dataset> {
         Arc::new(SyntheticSpec::reddit_sim().with_nodes(600).generate(3))
+    }
+
+    #[test]
+    fn avg_epoch_s_of_empty_run_is_zero() {
+        let run = TrainRun {
+            epochs: Vec::new(),
+            final_val: 0.0,
+            final_test: 0.0,
+            peak_mem_per_rank: Vec::new(),
+            k: 0,
+            boundary_per_rank: Vec::new(),
+            model: TrainedModel::Gcn(Vec::new()),
+        };
+        assert_eq!(run.avg_epoch_s(), 0.0);
+        assert!(run.avg_epoch_s().is_finite());
     }
 
     #[test]
@@ -1287,8 +1339,16 @@ mod tests {
         // The engine's final eval runs the same model over the same
         // full topology; scores must agree exactly up to f32 summation
         // order in the aggregation.
-        assert!((val - run.final_val).abs() < 0.01, "{val} vs {}", run.final_val);
-        assert!((test - run.final_test).abs() < 0.01, "{test} vs {}", run.final_test);
+        assert!(
+            (val - run.final_val).abs() < 0.01,
+            "{val} vs {}",
+            run.final_val
+        );
+        assert!(
+            (test - run.final_test).abs() < 0.01,
+            "{test} vs {}",
+            run.final_test
+        );
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub fn train_full(ds: &Dataset, cfg: &FullGraphConfig) -> FullGraphRun {
     let scale = ds.mean_scale();
     let mut losses = Vec::with_capacity(cfg.epochs);
     let t0 = std::time::Instant::now();
-    for _ in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        let _epoch_span = bns_telemetry::span!("epoch", epoch = epoch);
+        let fwd = bns_telemetry::Timed::with_args("compute", &[("epoch", epoch.into())]);
         let (out, caches) = model.forward_full(&ds.graph, &ds.features, &scale, true, &mut rng);
         let (loss, mut dlogits) = match &ds.labels {
             Labels::Single(labels) => {
@@ -81,7 +83,10 @@ pub fn train_full(ds: &Dataset, cfg: &FullGraphConfig) -> FullGraphRun {
         let grefs: Vec<&Matrix> = grad_owned.iter().collect();
         let mut params = model.params_mut();
         opt.step(&mut params, &grefs);
-        losses.push(loss / ds.train.len().max(1) as f64);
+        let _ = fwd.stop();
+        let epoch_loss = loss / ds.train.len().max(1) as f64;
+        bns_telemetry::series_push("epoch.loss", epoch as u64, epoch_loss);
+        losses.push(epoch_loss);
     }
     let avg_epoch_s = t0.elapsed().as_secs_f64() / cfg.epochs.max(1) as f64;
     let (final_val, final_test) = evaluate(&model, ds);

@@ -15,7 +15,12 @@ pub fn eq4_layer_bytes(n_in: usize, n_bd: usize, d: usize) -> u64 {
 /// (`n_in x d_in`), pre-activation and output (`n_in x d_out`), plus a
 /// dropout mask when `dropout > 0`. This is what shrinks when boundary
 /// sampling shrinks `n_act = n_in + n_selected`.
-pub fn epoch_activation_bytes(n_in: usize, n_selected: usize, dims: &[usize], dropout: bool) -> u64 {
+pub fn epoch_activation_bytes(
+    n_in: usize,
+    n_selected: usize,
+    dims: &[usize],
+    dropout: bool,
+) -> u64 {
     assert!(dims.len() >= 2, "need at least input and output dims");
     let n_act = n_in + n_selected;
     let mut total = 0u64;

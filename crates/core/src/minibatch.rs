@@ -31,6 +31,7 @@ use bns_graph::{GraphBuilder, WeightedSampler};
 use bns_nn::loss::{bce_with_logits, softmax_cross_entropy};
 use bns_nn::{Adam, SageModel};
 use bns_partition::Partitioner;
+use bns_telemetry::Timed;
 use bns_tensor::{Matrix, SeededRng};
 use std::time::Instant;
 
@@ -184,7 +185,7 @@ pub fn train_minibatch(
     let mut rng = SeededRng::new(cfg.seed ^ 0xabcd).fork(7);
 
     // Method-specific precomputation counts toward sampling time.
-    let t_pre = Instant::now();
+    let t_pre = Timed::start("sample");
     let clusters: Option<Vec<Vec<usize>>> = match method {
         MiniBatchMethod::ClusterGcn { clusters, .. } => {
             let part = bns_partition::BfsPartitioner.partition(
@@ -214,7 +215,7 @@ pub fn train_minibatch(
         ),
         _ => None,
     };
-    let mut sample_s = t_pre.elapsed().as_secs_f64();
+    let mut sample_s = t_pre.stop();
     let mut train_s = 0.0f64;
 
     let steps_per_epoch = match method {
@@ -232,7 +233,8 @@ pub fn train_minibatch(
 
     let mut losses = Vec::with_capacity(cfg.epochs);
     let t_total = Instant::now();
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        let _epoch_span = bns_telemetry::span!("epoch", epoch = epoch);
         let mut order = ds.train.clone();
         rng.shuffle(&mut order);
         let mut epoch_loss = 0.0f64;
@@ -296,7 +298,7 @@ pub fn train_minibatch(
                     )
                 }
                 MiniBatchMethod::ClusterGcn { per_batch, .. } => {
-                    let t0 = Instant::now();
+                    let t0 = Timed::start("sample");
                     let cl = clusters.as_ref().unwrap();
                     let mut nodes = Vec::new();
                     for _ in 0..per_batch {
@@ -304,7 +306,7 @@ pub fn train_minibatch(
                     }
                     nodes.sort_unstable();
                     nodes.dedup();
-                    sample_s += t0.elapsed().as_secs_f64();
+                    sample_s += t0.stop();
                     subgraph_step(
                         ds,
                         &mut model,
@@ -316,12 +318,12 @@ pub fn train_minibatch(
                     )
                 }
                 MiniBatchMethod::GraphSaintNode { nodes: m } => {
-                    let t0 = Instant::now();
+                    let t0 = Timed::start("sample");
                     let s = degree_sampler.as_ref().unwrap();
                     let mut nodes: Vec<usize> = (0..m).map(|_| s.sample(&mut rng)).collect();
                     nodes.sort_unstable();
                     nodes.dedup();
-                    sample_s += t0.elapsed().as_secs_f64();
+                    sample_s += t0.stop();
                     subgraph_step(
                         ds,
                         &mut model,
@@ -333,7 +335,7 @@ pub fn train_minibatch(
                     )
                 }
                 MiniBatchMethod::GraphSaintEdge { edges: m } => {
-                    let t0 = Instant::now();
+                    let t0 = Timed::start("sample");
                     let mut nodes = Vec::with_capacity(2 * m);
                     let n = ds.num_nodes();
                     for _ in 0..m {
@@ -348,7 +350,7 @@ pub fn train_minibatch(
                     }
                     nodes.sort_unstable();
                     nodes.dedup();
-                    sample_s += t0.elapsed().as_secs_f64();
+                    sample_s += t0.stop();
                     subgraph_step(
                         ds,
                         &mut model,
@@ -360,7 +362,7 @@ pub fn train_minibatch(
                     )
                 }
                 MiniBatchMethod::GraphSaintWalk { roots, length } => {
-                    let t0 = Instant::now();
+                    let t0 = Timed::start("sample");
                     let mut nodes = Vec::with_capacity(roots * (length + 1));
                     for _ in 0..roots {
                         let mut v = ds.train[rng.usize_below(ds.train.len())];
@@ -376,7 +378,7 @@ pub fn train_minibatch(
                     }
                     nodes.sort_unstable();
                     nodes.dedup();
-                    sample_s += t0.elapsed().as_secs_f64();
+                    sample_s += t0.stop();
                     subgraph_step(
                         ds,
                         &mut model,
@@ -441,7 +443,7 @@ fn layerwise_step(
     if batch.is_empty() {
         return (0.0, 0);
     }
-    let t0 = Instant::now();
+    let t0 = Timed::start("sample");
     // Blocks from the top (output) layer down; after reversal blocks[l]
     // feeds model layer l.
     let mut blocks: Vec<LayerBlock> = Vec::with_capacity(num_layers);
@@ -452,14 +454,13 @@ fn layerwise_step(
         blocks.push(block);
     }
     blocks.reverse();
-    *sample_s += t0.elapsed().as_secs_f64();
+    *sample_s += t0.stop();
 
-    let t1 = Instant::now();
+    let t1 = Timed::start("train");
     // Forward bottom-up.
     let mut h = ds.features.gather_rows(&blocks[0].nodes);
     let mut caches = Vec::with_capacity(num_layers);
-    for l in 0..num_layers {
-        let b = &blocks[l];
+    for (l, b) in blocks.iter().enumerate() {
         // Importance rescale of support rows.
         let mut h_scaled = h;
         for (r, &s) in b.feat_scale.iter().enumerate() {
@@ -506,7 +507,7 @@ fn layerwise_step(
     let flat: Vec<&Matrix> = grad_acc.iter().flatten().collect();
     let mut params = model.params_mut();
     opt.step(&mut params, &flat);
-    *train_s += t1.elapsed().as_secs_f64();
+    *train_s += t1.stop();
     (loss, top.n_targets)
 }
 
@@ -588,7 +589,11 @@ fn sample_importance_block(
     for _ in 0..support {
         *mult.entry(sampler.sample(rng)).or_insert(0) += 1;
     }
-    let mut extra: Vec<usize> = mult.keys().copied().filter(|v| !index_of.contains_key(v)).collect();
+    let mut extra: Vec<usize> = mult
+        .keys()
+        .copied()
+        .filter(|v| !index_of.contains_key(v))
+        .collect();
     extra.sort_unstable();
     let mut feat_scale = vec![1.0f32; nodes.len()];
     for v in extra {
@@ -698,7 +703,7 @@ fn subgraph_step(
     sample_s: &mut f64,
     train_s: &mut f64,
 ) -> (f64, usize) {
-    let t0 = Instant::now();
+    let t0 = Timed::start("sample");
     let sub = ds.graph.induced_subgraph(nodes);
     let g = sub.graph;
     let feats = ds.features.gather_rows(nodes);
@@ -714,11 +719,11 @@ fn subgraph_step(
             }
         }
     }
-    *sample_s += t0.elapsed().as_secs_f64();
+    *sample_s += t0.stop();
     if train_rows.is_empty() {
         return (0.0, 0);
     }
-    let t1 = Instant::now();
+    let t1 = Timed::start("train");
     let scale: Vec<f32> = (0..g.num_nodes())
         .map(|v| 1.0 / g.degree(v).max(1) as f32)
         .collect();
@@ -730,7 +735,7 @@ fn subgraph_step(
     let refs: Vec<&Matrix> = owned.iter().collect();
     let mut params = model.params_mut();
     opt.step(&mut params, &refs);
-    *train_s += t1.elapsed().as_secs_f64();
+    *train_s += t1.stop();
     (loss, train_rows.len())
 }
 
@@ -755,7 +760,7 @@ fn vr_gcn_step(
     if batch.is_empty() {
         return (0.0, 0);
     }
-    let t0 = Instant::now();
+    let t0 = Timed::start("sample");
     // Receptive field: batch ∪ its 1-hop neighborhood (histories stand
     // in beyond that). Batch nodes form the prefix.
     let mut in_batch = vec![false; ds.num_nodes()];
@@ -773,9 +778,9 @@ fn vr_gcn_step(
     ordered.extend(extras);
     let sub = ds.graph.induced_subgraph(&ordered);
     let g = sub.graph;
-    *sample_s += t0.elapsed().as_secs_f64();
+    *sample_s += t0.stop();
 
-    let t1 = Instant::now();
+    let t1 = Timed::start("train");
     let n_t = batch.len();
     let num_layers = model.num_layers();
     let row_scale: Vec<f32> = batch
@@ -784,6 +789,7 @@ fn vr_gcn_step(
         .collect();
     let mut caches = Vec::with_capacity(num_layers);
     let mut h = ds.features.gather_rows(&ordered);
+    #[allow(clippy::needless_range_loop)] // `l` also indexes `history[l]` on the non-final arm
     for l in 0..num_layers {
         let (next, cache) = model.layers[l].forward(&g, &h, n_t, &row_scale, true, rng);
         caches.push(cache);
@@ -815,7 +821,7 @@ fn vr_gcn_step(
     let flat: Vec<&Matrix> = grad_acc.iter().flatten().collect();
     let mut params = model.params_mut();
     opt.step(&mut params, &flat);
-    *train_s += t1.elapsed().as_secs_f64();
+    *train_s += t1.stop();
     (loss, n_t)
 }
 

@@ -167,9 +167,7 @@ impl PartitionPlan {
                     .collect();
                 let features = ds.features.gather_rows(inner_i);
                 let labels = match &ds.labels {
-                    Labels::Single(l) => {
-                        Labels::Single(inner_i.iter().map(|&v| l[v]).collect())
-                    }
+                    Labels::Single(l) => Labels::Single(inner_i.iter().map(|&v| l[v]).collect()),
                     Labels::Multi(m) => Labels::Multi(m.gather_rows(inner_i)),
                 };
                 let mut train_local = Vec::new();
@@ -278,7 +276,10 @@ mod tests {
         for (i, p) in plan.parts.iter().enumerate() {
             assert_eq!(p.n_boundary(), counts[i], "partition {i}");
         }
-        assert_eq!(plan.total_boundary(), metrics::comm_volume(&ds.graph, &part));
+        assert_eq!(
+            plan.total_boundary(),
+            metrics::comm_volume(&ds.graph, &part)
+        );
     }
 
     #[test]

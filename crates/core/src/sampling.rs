@@ -304,7 +304,7 @@ mod tests {
     /// exact aggregate when boundary features are scaled by 1/p and the
     /// mean uses full-graph degrees.
     #[test]
-    fn bns_aggregate_is_unbiased()  {
+    fn bns_aggregate_is_unbiased() {
         let plan = plan();
         let lp = &plan.parts[0];
         let n_local = lp.n_inner() + lp.n_boundary();
@@ -346,10 +346,7 @@ mod tests {
 
     #[test]
     fn edge_keep_is_symmetric_and_seeded() {
-        assert_eq!(
-            edge_kept(7, 3, 10, 20, 0.5),
-            edge_kept(7, 3, 20, 10, 0.5)
-        );
+        assert_eq!(edge_kept(7, 3, 10, 20, 0.5), edge_kept(7, 3, 20, 10, 0.5));
         assert!(edge_kept(0, 0, 1, 2, 1.0));
         assert!(!edge_kept(0, 0, 1, 2, 0.0));
         // Rate sanity over many edges.

@@ -94,9 +94,9 @@ pub fn measure_variance(
                 for w in weight.iter_mut().take(n_in) {
                     *w = 1.0; // inner nodes always present
                 }
-                for u in n_in..n_local {
+                for w in weight.iter_mut().skip(n_in) {
                     if rng.bernoulli(p) {
-                        weight[u] = (1.0 / p) as f32;
+                        *w = (1.0 / p) as f32;
                     }
                 }
             }
@@ -141,8 +141,7 @@ pub fn measure_variance(
         } else {
             // Weighted aggregate: scale rows by weight, reuse the kernel.
             let mut hw = h.slice_rows(0, n_local);
-            for u in 0..n_local {
-                let w = weight[u];
+            for (u, &w) in weight.iter().enumerate() {
                 for x in hw.row_mut(u) {
                     *x *= w;
                 }
@@ -249,8 +248,7 @@ mod tests {
         let (plan, h, n) = setup();
         let lp = &plan.parts[0];
         let mut rng = SeededRng::new(3);
-        let bns =
-            measure_variance(lp, n, &h, VarianceMethod::Bns, 0.3, 80, &mut rng).mean_sq_error;
+        let bns = measure_variance(lp, n, &h, VarianceMethod::Bns, 0.3, 80, &mut rng).mean_sq_error;
         let ladies = measure_variance(lp, n, &h, VarianceMethod::LadiesStyle, 0.3, 80, &mut rng)
             .mean_sq_error;
         let fast = measure_variance(lp, n, &h, VarianceMethod::FastGcnStyle, 0.3, 80, &mut rng)

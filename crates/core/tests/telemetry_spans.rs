@@ -1,0 +1,120 @@
+//! End-to-end telemetry check: the spans emitted by the
+//! partition-parallel engine must reproduce the phase breakdown that
+//! [`bns_gcn::engine::EpochStats`] reports. The engine accumulates the
+//! exact `f64` each [`bns_telemetry::Timed::stop`] records, so the
+//! span-derived totals are expected to be bit-identical; the assertions
+//! below allow 1% slack (the acceptance bound) but also report the
+//! observed error.
+//!
+//! This file must stay a single `#[test]` binary: telemetry capture is
+//! process-global, and a concurrently running instrumented test would
+//! interleave its spans with ours.
+
+use bns_data::SyntheticSpec;
+use bns_gcn::engine::{train, TrainConfig};
+use bns_gcn::sampling::BoundarySampling;
+use bns_partition::{MetisLikePartitioner, Partitioner};
+use bns_telemetry::{ArgValue, SpanEvent};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const K: usize = 3;
+const EPOCHS: usize = 5;
+
+fn arg_u64(span: &SpanEvent, key: &str) -> Option<u64> {
+    span.args.iter().find_map(|(k, v)| match v {
+        ArgValue::U64(x) if *k == key => Some(*x),
+        _ => None,
+    })
+}
+
+fn rel_err(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-12)
+}
+
+#[test]
+fn span_totals_match_epoch_stats() {
+    bns_telemetry::reset();
+    bns_telemetry::enable();
+
+    let ds = Arc::new(SyntheticSpec::reddit_sim().with_nodes(500).generate(7));
+    let part = MetisLikePartitioner::default().partition(&ds.graph, K, 0);
+    let cfg = TrainConfig {
+        epochs: EPOCHS,
+        sampling: BoundarySampling::Bns { p: 0.5 },
+        eval_every: 0,
+        ..TrainConfig::quick_test()
+    };
+    let run = train(&ds, &part, &cfg);
+
+    bns_telemetry::disable();
+    let spans = bns_telemetry::drain_spans();
+    assert!(!spans.is_empty(), "capture was enabled but no spans landed");
+
+    // One timeline per rank: every trainer span carries a rank tid.
+    let mut rank_tids: Vec<u32> = spans
+        .iter()
+        .filter(|s| matches!(s.name, "sample" | "exchange" | "compute" | "reduce"))
+        .map(|s| s.tid)
+        .collect();
+    rank_tids.sort_unstable();
+    rank_tids.dedup();
+    assert_eq!(
+        rank_tids,
+        (0..K as u32).collect::<Vec<_>>(),
+        "expected exactly one tid per rank"
+    );
+
+    // Sum phase durations per (epoch, rank, phase), mirroring the
+    // engine's per-rank accumulators.
+    let mut sums: HashMap<(u64, u32, &str), f64> = HashMap::new();
+    for span in &spans {
+        if !matches!(span.name, "sample" | "exchange" | "compute" | "reduce") {
+            continue;
+        }
+        let epoch = arg_u64(span, "epoch").expect("phase span lost its epoch argument");
+        *sums.entry((epoch, span.tid, span.name)).or_default() += span.dur_s;
+    }
+
+    assert_eq!(run.epochs.len(), EPOCHS);
+    for (epoch, stats) in run.epochs.iter().enumerate() {
+        // EpochStats keeps the max over ranks (the synchronous-training
+        // bottleneck); reduce the span sums the same way.
+        let max_of = |phase: &str| -> f64 {
+            (0..K as u32)
+                .map(|tid| {
+                    sums.get(&(epoch as u64, tid, phase))
+                        .copied()
+                        .unwrap_or(0.0)
+                })
+                .fold(0.0, f64::max)
+        };
+        for (phase, reported) in [
+            ("sample", stats.sample_s),
+            ("exchange", stats.comm_s),
+            ("compute", stats.compute_s),
+            ("reduce", stats.reduce_s),
+        ] {
+            let derived = max_of(phase);
+            assert!(
+                rel_err(derived, reported) <= 0.01,
+                "epoch {epoch} phase {phase}: span-derived {derived} vs \
+                 EpochStats {reported} (rel err {})",
+                rel_err(derived, reported)
+            );
+        }
+    }
+
+    // The trace must render as well-formed Chrome trace-event JSON.
+    let json = bns_telemetry::export::chrome_trace(&spans);
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    for needle in [
+        "\"ph\":\"X\"",
+        "\"ph\":\"M\"",
+        "\"name\":\"exchange\"",
+        "\"pid\":1",
+    ] {
+        assert!(json.contains(needle), "trace JSON missing {needle}");
+    }
+}

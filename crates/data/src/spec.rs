@@ -304,7 +304,8 @@ impl SyntheticSpec {
         let n_test = (fs * n as f64).round() as usize;
         let mut train: Vec<usize> = order[..n_train].to_vec();
         let mut val: Vec<usize> = order[n_train..n_train + n_val].to_vec();
-        let mut test: Vec<usize> = order[n_train + n_val..(n_train + n_val + n_test).min(n)].to_vec();
+        let mut test: Vec<usize> =
+            order[n_train + n_val..(n_train + n_val + n_test).min(n)].to_vec();
         train.sort_unstable();
         val.sort_unstable();
         test.sort_unstable();
@@ -368,21 +369,20 @@ mod tests {
         // (but stay below 100% given the noise/corruption).
         let mut centroids = Matrix::zeros(ds.num_classes, ds.feat_dim());
         let mut counts = vec![0f32; ds.num_classes];
-        for v in 0..ds.num_nodes() {
-            let c = labels[v];
+        for (v, &c) in labels.iter().enumerate() {
             counts[c] += 1.0;
             let row = ds.features.row(v).to_vec();
             for (o, x) in centroids.row_mut(c).iter_mut().zip(row) {
                 *o += x;
             }
         }
-        for c in 0..ds.num_classes {
+        for (c, cnt) in counts.iter().enumerate() {
             for o in centroids.row_mut(c) {
-                *o /= counts[c].max(1.0);
+                *o /= cnt.max(1.0);
             }
         }
         let mut correct = 0usize;
-        for v in 0..ds.num_nodes() {
+        for (v, &label) in labels.iter().enumerate() {
             let f = ds.features.row(v);
             let mut best = 0usize;
             let mut best_d = f32::INFINITY;
@@ -398,7 +398,7 @@ mod tests {
                     best = c;
                 }
             }
-            if best == labels[v] {
+            if best == label {
                 correct += 1;
             }
         }
@@ -426,12 +426,7 @@ mod tests {
     #[test]
     fn products_split_is_degree_ranked() {
         let ds = SyntheticSpec::products_sim().with_nodes(4000).generate(2);
-        let train_min_deg = ds
-            .train
-            .iter()
-            .map(|&v| ds.graph.degree(v))
-            .min()
-            .unwrap();
+        let train_min_deg = ds.train.iter().map(|&v| ds.graph.degree(v)).min().unwrap();
         let test_max: Vec<usize> = ds.test.iter().map(|&v| ds.graph.degree(v)).collect();
         let test_avg = test_max.iter().sum::<usize>() as f64 / test_max.len() as f64;
         assert!(
@@ -443,7 +438,9 @@ mod tests {
     #[test]
     fn yelp_is_multilabel_with_primary() {
         let ds = SyntheticSpec::yelp_sim().with_nodes(800).generate(3);
-        let Labels::Multi(y) = &ds.labels else { panic!() };
+        let Labels::Multi(y) = &ds.labels else {
+            panic!()
+        };
         assert_eq!(y.cols(), ds.num_classes);
         // Nearly every node holds a label (bit-flip label noise can zero
         // a few out); average label count is comfortably above 1.

@@ -78,9 +78,17 @@ fn degree_rank_split_kind() {
     let spec = SyntheticSpec::products_sim().with_nodes(2_000);
     assert_eq!(spec.split_kind, SplitKind::DegreeRank);
     let ds = spec.generate(2);
-    let train_mean: f64 = ds.train.iter().map(|&v| ds.graph.degree(v) as f64).sum::<f64>()
+    let train_mean: f64 = ds
+        .train
+        .iter()
+        .map(|&v| ds.graph.degree(v) as f64)
+        .sum::<f64>()
         / ds.train.len() as f64;
-    let test_mean: f64 = ds.test.iter().map(|&v| ds.graph.degree(v) as f64).sum::<f64>()
+    let test_mean: f64 = ds
+        .test
+        .iter()
+        .map(|&v| ds.graph.degree(v) as f64)
+        .sum::<f64>()
         / ds.test.len() as f64;
     assert!(
         train_mean > 3.0 * test_mean,

@@ -32,8 +32,7 @@ pub fn k_core(g: &CsrGraph, k: usize) -> Vec<bool> {
     let n = g.num_nodes();
     let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
     let mut alive = vec![true; n];
-    let mut queue: std::collections::VecDeque<usize> =
-        (0..n).filter(|&v| deg[v] < k).collect();
+    let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&v| deg[v] < k).collect();
     for &v in &queue {
         alive[v] = false;
     }

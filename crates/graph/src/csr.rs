@@ -262,7 +262,11 @@ impl GraphBuilder {
     ///
     /// Panics if an endpoint is out of bounds.
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of bounds (n={})", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of bounds (n={})",
+            self.n
+        );
         if u == v {
             return;
         }

@@ -342,8 +342,7 @@ mod tests {
         let g = chung_lu(&w, &mut rng);
         assert!(g.validate().is_ok());
         let heavy_avg: f64 = (0..30).map(|v| g.degree(v) as f64).sum::<f64>() / 30.0;
-        let light_avg: f64 =
-            (30..n).map(|v| g.degree(v) as f64).sum::<f64>() / (n - 30) as f64;
+        let light_avg: f64 = (30..n).map(|v| g.degree(v) as f64).sum::<f64>() / (n - 30) as f64;
         assert!(
             heavy_avg > 4.0 * light_avg,
             "heavy {heavy_avg} vs light {light_avg}"
@@ -422,8 +421,7 @@ mod tests {
         // beta = 1: heavily rewired, degrees vary.
         let g1 = watts_strogatz(100, 2, 1.0, &mut rng);
         assert!(g1.validate().is_ok());
-        let distinct: std::collections::HashSet<usize> =
-            (0..100).map(|v| g1.degree(v)).collect();
+        let distinct: std::collections::HashSet<usize> = (0..100).map(|v| g1.degree(v)).collect();
         assert!(distinct.len() > 1, "rewiring should break regularity");
     }
 

@@ -20,18 +20,13 @@ use bns_tensor::Matrix;
 ///
 /// Panics if `h` has fewer rows than `g` has nodes, `n_out >
 /// g.num_nodes()`, or `row_scale.len() != n_out`.
-pub fn scaled_sum_aggregate(
-    g: &CsrGraph,
-    h: &Matrix,
-    n_out: usize,
-    row_scale: &[f32],
-) -> Matrix {
+pub fn scaled_sum_aggregate(g: &CsrGraph, h: &Matrix, n_out: usize, row_scale: &[f32]) -> Matrix {
     assert!(h.rows() >= g.num_nodes(), "feature matrix too small");
     assert!(n_out <= g.num_nodes(), "n_out exceeds graph size");
     assert_eq!(row_scale.len(), n_out, "row_scale length mismatch");
     let d = h.cols();
     let mut z = Matrix::zeros(n_out, d);
-    for v in 0..n_out {
+    for (v, &s) in row_scale.iter().enumerate() {
         let zr = z.row_mut(v);
         for &u in g.neighbors(v) {
             let hu = h.row(u as usize);
@@ -39,7 +34,6 @@ pub fn scaled_sum_aggregate(
                 *a += b;
             }
         }
-        let s = row_scale[v];
         for a in zr.iter_mut() {
             *a *= s;
         }
@@ -66,8 +60,7 @@ pub fn scaled_sum_aggregate_backward(
     assert_eq!(row_scale.len(), n_out, "row_scale length mismatch");
     let d = dz.cols();
     let mut dh = Matrix::zeros(n_rows_h, d);
-    for v in 0..n_out {
-        let s = row_scale[v];
+    for (v, &s) in row_scale.iter().enumerate() {
         let dzv: Vec<f32> = dz.row(v).iter().map(|x| x * s).collect();
         for &u in g.neighbors(v) {
             let hr = dh.row_mut(u as usize);
@@ -177,7 +170,10 @@ mod tests {
         let aty = scaled_sum_aggregate_backward(&g, &y, 30, &scale);
         let lhs: f32 = ax.hadamard(&y).sum();
         let rhs: f32 = x.hadamard(&aty).sum();
-        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]
@@ -193,7 +189,10 @@ mod tests {
         let aty = gcn_aggregate_backward(&g, &y, 25, &s);
         let lhs: f32 = ax.hadamard(&y).sum();
         let rhs: f32 = x.hadamard(&aty).sum();
-        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

@@ -65,7 +65,13 @@ pub struct GatGrads {
 impl GatLayer {
     /// Xavier-initialized layer with the conventional 0.2 LeakyReLU
     /// attention slope.
-    pub fn new(d_in: usize, d_out: usize, act: Activation, dropout: f32, rng: &mut SeededRng) -> Self {
+    pub fn new(
+        d_in: usize,
+        d_out: usize,
+        act: Activation,
+        dropout: f32,
+        rng: &mut SeededRng,
+    ) -> Self {
         Self {
             w: xavier_uniform(d_in, d_out, rng),
             a_l: xavier_uniform(1, d_out, rng),

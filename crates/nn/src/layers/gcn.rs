@@ -44,7 +44,13 @@ pub struct GcnGrads {
 
 impl GcnLayer {
     /// Xavier-initialized layer.
-    pub fn new(d_in: usize, d_out: usize, act: Activation, dropout: f32, rng: &mut SeededRng) -> Self {
+    pub fn new(
+        d_in: usize,
+        d_out: usize,
+        act: Activation,
+        dropout: f32,
+        rng: &mut SeededRng,
+    ) -> Self {
         Self {
             w: xavier_uniform(d_in, d_out, rng),
             b: Matrix::zeros(1, d_out),
@@ -133,7 +139,11 @@ mod tests {
         let ones = Matrix::filled(out.rows(), out.cols(), 1.0);
         let (dh, grads) = layer.backward(&g, &cache, &ones);
         let fd_h = finite_diff(&h, 1e-2, |hp| loss(&layer, hp));
-        assert!(dh.approx_eq(&fd_h, 0.08), "dh diff {}", dh.max_abs_diff(&fd_h));
+        assert!(
+            dh.approx_eq(&fd_h, 0.08),
+            "dh diff {}",
+            dh.max_abs_diff(&fd_h)
+        );
         let fd_w = finite_diff(&layer.w, 1e-2, |w| {
             let mut l2 = layer.clone();
             l2.w = w.clone();

@@ -38,7 +38,13 @@ pub struct LinearGrads {
 
 impl LinearLayer {
     /// Xavier-initialized layer.
-    pub fn new(d_in: usize, d_out: usize, act: Activation, dropout: f32, rng: &mut SeededRng) -> Self {
+    pub fn new(
+        d_in: usize,
+        d_out: usize,
+        act: Activation,
+        dropout: f32,
+        rng: &mut SeededRng,
+    ) -> Self {
         Self {
             w: xavier_uniform(d_in, d_out, rng),
             b: Matrix::zeros(1, d_out),
@@ -104,7 +110,11 @@ mod tests {
         let ones = Matrix::filled(out.rows(), out.cols(), 1.0);
         let (dx, grads) = layer.backward(&cache, &ones);
         let fd_x = finite_diff(&x, 1e-2, |xp| loss(&layer, xp));
-        assert!(dx.approx_eq(&fd_x, 0.05), "dx diff {}", dx.max_abs_diff(&fd_x));
+        assert!(
+            dx.approx_eq(&fd_x, 0.05),
+            "dx diff {}",
+            dx.max_abs_diff(&fd_x)
+        );
         let fd_w = finite_diff(&layer.w, 1e-2, |w| {
             let mut l2 = layer.clone();
             l2.w = w.clone();

@@ -52,7 +52,13 @@ pub struct SageGrads {
 
 impl SageLayer {
     /// Xavier-initialized layer.
-    pub fn new(d_in: usize, d_out: usize, act: Activation, dropout: f32, rng: &mut SeededRng) -> Self {
+    pub fn new(
+        d_in: usize,
+        d_out: usize,
+        act: Activation,
+        dropout: f32,
+        rng: &mut SeededRng,
+    ) -> Self {
         Self {
             w_self: xavier_uniform(d_in, d_out, rng),
             w_neigh: xavier_uniform(d_in, d_out, rng),
@@ -122,12 +128,7 @@ impl SageLayer {
     /// Backward pass: given `d_out` (`n_out x d_out`), returns the
     /// gradient with respect to every input row (`h_full`'s shape) and
     /// the parameter gradients.
-    pub fn backward(
-        &self,
-        g: &CsrGraph,
-        cache: &SageCache,
-        d_out: &Matrix,
-    ) -> (Matrix, SageGrads) {
+    pub fn backward(&self, g: &CsrGraph, cache: &SageCache, d_out: &Matrix) -> (Matrix, SageGrads) {
         assert_eq!(d_out.rows(), cache.n_out, "d_out row mismatch");
         let dpre = self.act.backward(&cache.pre, d_out);
         let h_self = cache.h_dropped.slice_rows(0, cache.n_out);
@@ -172,9 +173,7 @@ mod tests {
         let g = erdos_renyi_m(12, 30, &mut rng);
         let layer = SageLayer::new(5, 4, Activation::Relu, 0.0, &mut rng);
         let h = Matrix::random_normal(12, 5, 0.0, 1.0, &mut rng);
-        let scale: Vec<f32> = (0..12)
-            .map(|v| 1.0 / g.degree(v).max(1) as f32)
-            .collect();
+        let scale: Vec<f32> = (0..12).map(|v| 1.0 / g.degree(v).max(1) as f32).collect();
         (g, layer, h, scale)
     }
 
@@ -193,11 +192,7 @@ mod tests {
         let ones = Matrix::filled(out.rows(), out.cols(), 1.0);
         let (dh, _) = layer.backward(&g, &cache, &ones);
         let fd = finite_diff(&h, 1e-2, |hp| loss_of(&layer, &g, hp, &scale));
-        assert!(
-            dh.approx_eq(&fd, 0.05),
-            "max diff {}",
-            dh.max_abs_diff(&fd)
-        );
+        assert!(dh.approx_eq(&fd, 0.05), "max diff {}", dh.max_abs_diff(&fd));
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl SageModel {
 
     /// All parameters, layer by layer (for the optimizer).
     pub fn params_mut(&mut self) -> Vec<&mut Matrix> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Flattens per-layer gradients into optimizer order.
@@ -132,7 +135,10 @@ impl GatModel {
 
     /// All parameters, layer by layer.
     pub fn params_mut(&mut self) -> Vec<&mut Matrix> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Flattens per-layer gradients into optimizer order.

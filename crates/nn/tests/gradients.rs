@@ -134,7 +134,7 @@ fn dropout_mask_consistency() {
     // entries have zero gradient — verify at least one zero exists and
     // non-finite values never appear.
     assert!(!dx.has_non_finite());
-    assert!(dx.as_slice().iter().any(|&v| v == 0.0));
+    assert!(dx.as_slice().contains(&0.0));
 }
 
 /// A deeper (4-layer, paper-Reddit-shaped) model still has
@@ -155,6 +155,9 @@ fn deep_model_gradients_are_finite() {
     for (l, g) in grads.iter().enumerate() {
         assert!(!g.w_self.has_non_finite(), "layer {l} w_self");
         assert!(!g.w_neigh.has_non_finite(), "layer {l} w_neigh");
-        assert!(g.w_self.frobenius_norm() > 0.0, "layer {l} got zero gradient");
+        assert!(
+            g.w_self.frobenius_norm() > 0.0,
+            "layer {l} got zero gradient"
+        );
     }
 }

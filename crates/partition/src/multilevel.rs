@@ -326,8 +326,7 @@ impl WGraph {
             for &v in &boundary {
                 let own = part[v];
                 // Tally edge weight toward each adjacent partition.
-                for &(u, w) in self
-                    .indices[self.indptr[v]..self.indptr[v + 1]]
+                for &(u, w) in self.indices[self.indptr[v]..self.indptr[v + 1]]
                     .iter()
                     .zip(&self.eweight[self.indptr[v]..self.indptr[v + 1]])
                     .map(|(&u, &w)| (u as usize, w))
@@ -552,7 +551,11 @@ mod tests {
     fn assert_valid(g: &CsrGraph, p: &Partitioning, k: usize) {
         assert_eq!(p.num_parts(), k);
         assert_eq!(p.num_nodes(), g.num_nodes());
-        assert!(p.sizes().iter().all(|&s| s > 0), "empty part: {:?}", p.sizes());
+        assert!(
+            p.sizes().iter().all(|&s| s > 0),
+            "empty part: {:?}",
+            p.sizes()
+        );
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Exporters: Chrome trace-event JSON, per-rank flame summaries and CSV
+//! time series. All output is built with `std::fmt` — no serde.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::{ArgValue, SpanEvent, UNATTRIBUTED_TID_BASE};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (non-finite values become `null`,
+/// which JSON cannot represent otherwise).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_arg(v: &ArgValue) -> String {
+    match v {
+        ArgValue::U64(x) => format!("{x}"),
+        ArgValue::I64(x) => format!("{x}"),
+        ArgValue::F64(x) => json_f64(*x),
+    }
+}
+
+fn tid_label(tid: u32) -> String {
+    if tid < UNATTRIBUTED_TID_BASE {
+        format!("rank {tid}")
+    } else {
+        format!("worker {tid}")
+    }
+}
+
+/// Renders spans as a Chrome trace-event JSON array (complete events,
+/// `ph: "X"`, timestamps in microseconds) loadable by `chrome://tracing`
+/// and Perfetto. One `tid` per rank, with thread-name metadata events.
+pub fn chrome_trace(spans: &[SpanEvent]) -> String {
+    let mut tids: Vec<u32> = spans.iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("[\n");
+    let mut first = true;
+    for tid in &tids {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(&tid_label(*tid))
+        );
+    }
+    for span in spans {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}",
+            json_escape(span.name),
+            span.ts_s * 1e6,
+            span.dur_s * 1e6,
+            span.tid,
+        );
+        if !span.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in span.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", json_escape(k), json_arg(v));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[derive(Default, Clone, Copy)]
+struct NameAgg {
+    count: u64,
+    total_s: f64,
+    self_s: f64,
+}
+
+struct Frame {
+    name: &'static str,
+    end_s: f64,
+    dur_s: f64,
+    child_s: f64,
+}
+
+fn fmt_s(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+/// Renders a plain-text per-rank summary: for every span name, its call
+/// count, cumulative time and self time (cumulative minus time spent in
+/// nested spans on the same thread), sorted by cumulative time.
+pub fn flame_summary(spans: &[SpanEvent]) -> String {
+    let mut by_tid: HashMap<u32, Vec<&SpanEvent>> = HashMap::new();
+    for span in spans {
+        by_tid.entry(span.tid).or_default().push(span);
+    }
+    let mut tids: Vec<u32> = by_tid.keys().copied().collect();
+    tids.sort_unstable();
+
+    let mut out = String::new();
+    for tid in tids {
+        let mut events = by_tid.remove(&tid).unwrap();
+        // Parents first at equal start times (longer span is the parent).
+        events.sort_by(|a, b| {
+            a.ts_s
+                .total_cmp(&b.ts_s)
+                .then_with(|| b.dur_s.total_cmp(&a.dur_s))
+        });
+
+        let mut agg: HashMap<&'static str, NameAgg> = HashMap::new();
+        let mut stack: Vec<Frame> = Vec::new();
+        let pop = |stack: &mut Vec<Frame>, agg: &mut HashMap<&'static str, NameAgg>| {
+            let frame = stack.pop().expect("pop on empty span stack");
+            let entry = agg.entry(frame.name).or_default();
+            entry.count += 1;
+            entry.total_s += frame.dur_s;
+            entry.self_s += (frame.dur_s - frame.child_s).max(0.0);
+            if let Some(parent) = stack.last_mut() {
+                parent.child_s += frame.dur_s;
+            }
+        };
+        for ev in &events {
+            while stack.last().is_some_and(|f| f.end_s <= ev.ts_s) {
+                pop(&mut stack, &mut agg);
+            }
+            stack.push(Frame {
+                name: ev.name,
+                end_s: ev.ts_s + ev.dur_s,
+                dur_s: ev.dur_s,
+                child_s: 0.0,
+            });
+        }
+        while !stack.is_empty() {
+            pop(&mut stack, &mut agg);
+        }
+
+        let mut rows: Vec<(&'static str, NameAgg)> = agg.into_iter().collect();
+        rows.sort_by(|a, b| b.1.total_s.total_cmp(&a.1.total_s));
+
+        let _ = writeln!(out, "=== {} (tid {tid}) ===", tid_label(tid));
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>12} {:>12} {:>12}",
+            "span", "count", "total", "self", "mean"
+        );
+        for (name, a) in rows {
+            let _ = writeln!(
+                out,
+                "{name:<24} {:>8} {:>12} {:>12} {:>12}",
+                a.count,
+                fmt_s(a.total_s),
+                fmt_s(a.self_s),
+                fmt_s(a.total_s / a.count as f64),
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders metrics as CSV with columns `metric,step,value`.
+///
+/// Time-series points keep their recorded step; counter totals and
+/// final gauge values follow with an empty step column and a
+/// `counter:`/`gauge:` name prefix.
+pub fn csv_time_series(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("metric,step,value\n");
+    for series in &snapshot.series {
+        for &(step, value) in &series.points {
+            let _ = writeln!(out, "{},{step},{value}", series.name);
+        }
+    }
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "counter:{name},,{value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(out, "gauge:{name},,{value}");
+    }
+    out
+}

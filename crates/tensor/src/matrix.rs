@@ -129,7 +129,13 @@ impl Matrix {
     }
 
     /// A matrix of i.i.d. `N(mean, std^2)` entries.
-    pub fn random_normal(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut SeededRng) -> Self {
+    pub fn random_normal(
+        rows: usize,
+        cols: usize,
+        mean: f32,
+        std: f32,
+        rng: &mut SeededRng,
+    ) -> Self {
         Self::from_fn(rows, cols, |_, _| rng.normal(mean, std))
     }
 
@@ -184,7 +190,11 @@ impl Matrix {
     ///
     /// Panics if `r` is out of bounds.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -194,7 +204,11 @@ impl Matrix {
     ///
     /// Panics if `r` is out of bounds.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -379,7 +393,11 @@ impl Matrix {
 
     /// Applies `f` elementwise, returning a new matrix.
     pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&a| f(a)).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&a| f(a)).collect(),
+        )
     }
 
     /// Gathers the given rows into a new matrix (`out.row(i) =
@@ -528,14 +546,20 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

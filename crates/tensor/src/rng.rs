@@ -3,9 +3,10 @@
 //! Everything stochastic in the workspace (dataset synthesis, partitioning
 //! tie-breaks, boundary-node sampling, weight init, dropout) flows through
 //! [`SeededRng`] so that a run is reproducible from a single `u64` seed.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256** whose state is expanded
+//! from the seed with SplitMix64, so the workspace carries no external
+//! RNG dependency and streams are identical on every platform.
 
 /// A seeded random number generator with the distribution helpers the
 /// workspace needs (uniform, normal via Box–Muller, permutations,
@@ -22,17 +23,30 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// One SplitMix64 step; used to expand seeds and mix fork streams.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SeededRng {
     /// Creates a generator from a `u64` seed.
     pub fn new(seed: u64) -> Self {
-        Self {
-            inner: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { state, seed }
     }
 
     /// The seed this generator was created from.
@@ -47,7 +61,7 @@ impl SeededRng {
         // SplitMix64 so sibling forks are decorrelated.
         let mut z = self
             .seed
-            .wrapping_add(self.inner.gen::<u64>())
+            .wrapping_add(self.next_u64())
             .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -55,14 +69,34 @@ impl SeededRng {
         SeededRng::new(z)
     }
 
-    /// Next raw `u64`.
+    /// Next raw `u64` (xoshiro256**).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, n)` via widening multiply.
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
     }
 
     /// Uniform `f32` in `[0, 1)`.
     pub fn uniform(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Uniform `f32` in `[lo, hi)`.
@@ -82,7 +116,7 @@ impl SeededRng {
     /// Panics if `n == 0`.
     pub fn usize_below(&mut self, n: usize) -> usize {
         assert!(n > 0, "usize_below requires n > 0");
-        self.inner.gen_range(0..n)
+        self.below(n as u64) as usize
     }
 
     /// A draw from `N(mean, std^2)` via the Box–Muller transform.
@@ -106,14 +140,14 @@ impl SeededRng {
         } else if p >= 1.0 {
             true
         } else {
-            (self.inner.gen::<f64>()) < p
+            self.unit_f64() < p
         }
     }
 
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             xs.swap(i, j);
         }
     }
@@ -146,7 +180,7 @@ impl SeededRng {
         let mut chosen = std::collections::HashSet::with_capacity(k);
         let mut out = Vec::with_capacity(k);
         for j in (n - k)..n {
-            let t = self.inner.gen_range(0..=j);
+            let t = self.below(j as u64 + 1) as usize;
             let pick = if chosen.insert(t) { t } else { j };
             if pick != t {
                 chosen.insert(pick);
@@ -170,7 +204,7 @@ impl SeededRng {
             total.is_finite() && total > 0.0,
             "weighted_choice requires positive finite total weight, got {total}"
         );
-        let mut t = self.inner.gen::<f64>() * total;
+        let mut t = self.unit_f64() * total;
         for (i, &w) in weights.iter().enumerate() {
             t -= w;
             if t <= 0.0 {
@@ -178,24 +212,6 @@ impl SeededRng {
             }
         }
         weights.len() - 1
-    }
-}
-
-impl RngCore for SeededRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -249,6 +265,18 @@ mod tests {
             let x = rng.uniform_range(-2.0, 5.0);
             assert!((-2.0..5.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn uniform_covers_unit_interval() {
+        let mut rng = SeededRng::new(29);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x));
+            buckets[(x * 10.0) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&c| c > 700), "buckets {buckets:?}");
     }
 
     #[test]

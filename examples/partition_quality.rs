@@ -34,10 +34,7 @@ fn main() {
                 ..Default::default()
             }),
         ),
-        (
-            "metis-like(vol)",
-            Box::new(MetisLikePartitioner::default()),
-        ),
+        ("metis-like(vol)", Box::new(MetisLikePartitioner::default())),
     ];
     for (name, p) in partitioners {
         let part = p.partition(&ds.graph, k, 0);

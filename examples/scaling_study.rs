@@ -40,7 +40,11 @@ fn main() {
                 pipeline: false,
             };
             let run = train_with_plan(&plan, &cfg);
-            let selected: usize = run.epochs.iter().map(|e| e.selected_boundary).sum::<usize>()
+            let selected: usize = run
+                .epochs
+                .iter()
+                .map(|e| e.selected_boundary)
+                .sum::<usize>()
                 / run.epochs.len();
             let sim = run.avg_sim_epoch_scaled(&cost, wscale);
             println!(

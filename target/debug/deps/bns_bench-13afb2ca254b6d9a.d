@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/bns_bench-13afb2ca254b6d9a.d: crates/bench/src/lib.rs crates/bench/src/exp_ablation.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_edge.rs crates/bench/src/exp_gat.rs crates/bench/src/exp_memory.rs crates/bench/src/exp_partition.rs crates/bench/src/exp_sampling.rs crates/bench/src/exp_throughput.rs crates/bench/src/exp_variance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbns_bench-13afb2ca254b6d9a.rmeta: crates/bench/src/lib.rs crates/bench/src/exp_ablation.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_edge.rs crates/bench/src/exp_gat.rs crates/bench/src/exp_memory.rs crates/bench/src/exp_partition.rs crates/bench/src/exp_sampling.rs crates/bench/src/exp_throughput.rs crates/bench/src/exp_variance.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp_ablation.rs:
+crates/bench/src/exp_accuracy.rs:
+crates/bench/src/exp_edge.rs:
+crates/bench/src/exp_gat.rs:
+crates/bench/src/exp_memory.rs:
+crates/bench/src/exp_partition.rs:
+crates/bench/src/exp_sampling.rs:
+crates/bench/src/exp_throughput.rs:
+crates/bench/src/exp_variance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

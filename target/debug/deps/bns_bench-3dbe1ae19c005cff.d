@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bns_bench-3dbe1ae19c005cff.d: crates/bench/src/lib.rs crates/bench/src/exp_ablation.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_edge.rs crates/bench/src/exp_gat.rs crates/bench/src/exp_memory.rs crates/bench/src/exp_partition.rs crates/bench/src/exp_sampling.rs crates/bench/src/exp_throughput.rs crates/bench/src/exp_variance.rs
+
+/root/repo/target/debug/deps/bns_bench-3dbe1ae19c005cff: crates/bench/src/lib.rs crates/bench/src/exp_ablation.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_edge.rs crates/bench/src/exp_gat.rs crates/bench/src/exp_memory.rs crates/bench/src/exp_partition.rs crates/bench/src/exp_sampling.rs crates/bench/src/exp_throughput.rs crates/bench/src/exp_variance.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp_ablation.rs:
+crates/bench/src/exp_accuracy.rs:
+crates/bench/src/exp_edge.rs:
+crates/bench/src/exp_gat.rs:
+crates/bench/src/exp_memory.rs:
+crates/bench/src/exp_partition.rs:
+crates/bench/src/exp_sampling.rs:
+crates/bench/src/exp_throughput.rs:
+crates/bench/src/exp_variance.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bns_bench-560711f1868893af.d: crates/bench/src/lib.rs crates/bench/src/exp_ablation.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_edge.rs crates/bench/src/exp_gat.rs crates/bench/src/exp_memory.rs crates/bench/src/exp_partition.rs crates/bench/src/exp_sampling.rs crates/bench/src/exp_throughput.rs crates/bench/src/exp_variance.rs
+
+/root/repo/target/debug/deps/libbns_bench-560711f1868893af.rlib: crates/bench/src/lib.rs crates/bench/src/exp_ablation.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_edge.rs crates/bench/src/exp_gat.rs crates/bench/src/exp_memory.rs crates/bench/src/exp_partition.rs crates/bench/src/exp_sampling.rs crates/bench/src/exp_throughput.rs crates/bench/src/exp_variance.rs
+
+/root/repo/target/debug/deps/libbns_bench-560711f1868893af.rmeta: crates/bench/src/lib.rs crates/bench/src/exp_ablation.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_edge.rs crates/bench/src/exp_gat.rs crates/bench/src/exp_memory.rs crates/bench/src/exp_partition.rs crates/bench/src/exp_sampling.rs crates/bench/src/exp_throughput.rs crates/bench/src/exp_variance.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp_ablation.rs:
+crates/bench/src/exp_accuracy.rs:
+crates/bench/src/exp_edge.rs:
+crates/bench/src/exp_gat.rs:
+crates/bench/src/exp_memory.rs:
+crates/bench/src/exp_partition.rs:
+crates/bench/src/exp_sampling.rs:
+crates/bench/src/exp_throughput.rs:
+crates/bench/src/exp_variance.rs:

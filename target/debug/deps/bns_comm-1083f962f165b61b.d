@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bns_comm-1083f962f165b61b.d: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs
+
+/root/repo/target/debug/deps/bns_comm-1083f962f165b61b: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/cost.rs:
+crates/comm/src/rank.rs:
+crates/comm/src/traffic.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bns_comm-1bb505fa9f5a622d.d: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbns_comm-1bb505fa9f5a622d.rmeta: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/cost.rs:
+crates/comm/src/rank.rs:
+crates/comm/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bns_comm-3e4a0cfa0506340b.d: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs
+
+/root/repo/target/debug/deps/libbns_comm-3e4a0cfa0506340b.rlib: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs
+
+/root/repo/target/debug/deps/libbns_comm-3e4a0cfa0506340b.rmeta: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/cost.rs:
+crates/comm/src/rank.rs:
+crates/comm/src/traffic.rs:

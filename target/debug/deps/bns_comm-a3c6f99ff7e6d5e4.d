@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bns_comm-a3c6f99ff7e6d5e4.d: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs
+
+/root/repo/target/debug/deps/libbns_comm-a3c6f99ff7e6d5e4.rlib: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs
+
+/root/repo/target/debug/deps/libbns_comm-a3c6f99ff7e6d5e4.rmeta: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/cost.rs:
+crates/comm/src/rank.rs:
+crates/comm/src/traffic.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bns_data-15780b67b57e72d8.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbns_data-15780b67b57e72d8.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/spec.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

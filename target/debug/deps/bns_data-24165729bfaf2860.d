@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bns_data-24165729bfaf2860.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/spec.rs
+
+/root/repo/target/debug/deps/bns_data-24165729bfaf2860: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/spec.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/spec.rs:

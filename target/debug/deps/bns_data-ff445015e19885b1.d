@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bns_data-ff445015e19885b1.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/spec.rs
+
+/root/repo/target/debug/deps/libbns_data-ff445015e19885b1.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/spec.rs
+
+/root/repo/target/debug/deps/libbns_data-ff445015e19885b1.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/spec.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/spec.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bns_gcn-0282aa851d641e3e.d: crates/core/src/lib.rs crates/core/src/costsim.rs crates/core/src/engine.rs crates/core/src/fullgraph.rs crates/core/src/memory.rs crates/core/src/minibatch.rs crates/core/src/plan.rs crates/core/src/sampling.rs crates/core/src/variance.rs
+
+/root/repo/target/debug/deps/libbns_gcn-0282aa851d641e3e.rlib: crates/core/src/lib.rs crates/core/src/costsim.rs crates/core/src/engine.rs crates/core/src/fullgraph.rs crates/core/src/memory.rs crates/core/src/minibatch.rs crates/core/src/plan.rs crates/core/src/sampling.rs crates/core/src/variance.rs
+
+/root/repo/target/debug/deps/libbns_gcn-0282aa851d641e3e.rmeta: crates/core/src/lib.rs crates/core/src/costsim.rs crates/core/src/engine.rs crates/core/src/fullgraph.rs crates/core/src/memory.rs crates/core/src/minibatch.rs crates/core/src/plan.rs crates/core/src/sampling.rs crates/core/src/variance.rs
+
+crates/core/src/lib.rs:
+crates/core/src/costsim.rs:
+crates/core/src/engine.rs:
+crates/core/src/fullgraph.rs:
+crates/core/src/memory.rs:
+crates/core/src/minibatch.rs:
+crates/core/src/plan.rs:
+crates/core/src/sampling.rs:
+crates/core/src/variance.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bns_gcn-60de50846d7b2de6.d: crates/core/src/lib.rs crates/core/src/costsim.rs crates/core/src/engine.rs crates/core/src/fullgraph.rs crates/core/src/memory.rs crates/core/src/minibatch.rs crates/core/src/plan.rs crates/core/src/sampling.rs crates/core/src/variance.rs
+
+/root/repo/target/debug/deps/libbns_gcn-60de50846d7b2de6.rlib: crates/core/src/lib.rs crates/core/src/costsim.rs crates/core/src/engine.rs crates/core/src/fullgraph.rs crates/core/src/memory.rs crates/core/src/minibatch.rs crates/core/src/plan.rs crates/core/src/sampling.rs crates/core/src/variance.rs
+
+/root/repo/target/debug/deps/libbns_gcn-60de50846d7b2de6.rmeta: crates/core/src/lib.rs crates/core/src/costsim.rs crates/core/src/engine.rs crates/core/src/fullgraph.rs crates/core/src/memory.rs crates/core/src/minibatch.rs crates/core/src/plan.rs crates/core/src/sampling.rs crates/core/src/variance.rs
+
+crates/core/src/lib.rs:
+crates/core/src/costsim.rs:
+crates/core/src/engine.rs:
+crates/core/src/fullgraph.rs:
+crates/core/src/memory.rs:
+crates/core/src/minibatch.rs:
+crates/core/src/plan.rs:
+crates/core/src/sampling.rs:
+crates/core/src/variance.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bns_gcn-eaee99c50337b629.d: crates/core/src/lib.rs crates/core/src/costsim.rs crates/core/src/engine.rs crates/core/src/fullgraph.rs crates/core/src/memory.rs crates/core/src/minibatch.rs crates/core/src/plan.rs crates/core/src/sampling.rs crates/core/src/variance.rs
+
+/root/repo/target/debug/deps/bns_gcn-eaee99c50337b629: crates/core/src/lib.rs crates/core/src/costsim.rs crates/core/src/engine.rs crates/core/src/fullgraph.rs crates/core/src/memory.rs crates/core/src/minibatch.rs crates/core/src/plan.rs crates/core/src/sampling.rs crates/core/src/variance.rs
+
+crates/core/src/lib.rs:
+crates/core/src/costsim.rs:
+crates/core/src/engine.rs:
+crates/core/src/fullgraph.rs:
+crates/core/src/memory.rs:
+crates/core/src/minibatch.rs:
+crates/core/src/plan.rs:
+crates/core/src/sampling.rs:
+crates/core/src/variance.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bns_gcn_repro-2e016ee44b0c3e1c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbns_gcn_repro-2e016ee44b0c3e1c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbns_gcn_repro-2e016ee44b0c3e1c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bns_gcn_repro-902b0b99c3e0dbc1.d: src/lib.rs
+
+/root/repo/target/debug/deps/bns_gcn_repro-902b0b99c3e0dbc1: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bns_gcn_repro-d955bab2ba5c1ece.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbns_gcn_repro-d955bab2ba5c1ece.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

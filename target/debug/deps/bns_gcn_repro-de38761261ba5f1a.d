@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bns_gcn_repro-de38761261ba5f1a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbns_gcn_repro-de38761261ba5f1a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbns_gcn_repro-de38761261ba5f1a.rmeta: src/lib.rs
+
+src/lib.rs:

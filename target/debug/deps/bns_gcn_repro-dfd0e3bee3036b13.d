@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bns_gcn_repro-dfd0e3bee3036b13.d: src/lib.rs
+
+/root/repo/target/debug/deps/bns_gcn_repro-dfd0e3bee3036b13: src/lib.rs
+
+src/lib.rs:

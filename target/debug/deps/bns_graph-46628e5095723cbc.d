@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bns_graph-46628e5095723cbc.d: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/csr.rs crates/graph/src/generators.rs crates/graph/src/sampler.rs crates/graph/src/stats.rs
+
+/root/repo/target/debug/deps/libbns_graph-46628e5095723cbc.rlib: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/csr.rs crates/graph/src/generators.rs crates/graph/src/sampler.rs crates/graph/src/stats.rs
+
+/root/repo/target/debug/deps/libbns_graph-46628e5095723cbc.rmeta: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/csr.rs crates/graph/src/generators.rs crates/graph/src/sampler.rs crates/graph/src/stats.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/algo.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/sampler.rs:
+crates/graph/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bns_graph-61a494b44efbbf0e.d: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/csr.rs crates/graph/src/generators.rs crates/graph/src/sampler.rs crates/graph/src/stats.rs
+
+/root/repo/target/debug/deps/bns_graph-61a494b44efbbf0e: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/csr.rs crates/graph/src/generators.rs crates/graph/src/sampler.rs crates/graph/src/stats.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/algo.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/sampler.rs:
+crates/graph/src/stats.rs:

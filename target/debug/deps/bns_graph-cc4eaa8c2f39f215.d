@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bns_graph-cc4eaa8c2f39f215.d: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/csr.rs crates/graph/src/generators.rs crates/graph/src/sampler.rs crates/graph/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbns_graph-cc4eaa8c2f39f215.rmeta: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/csr.rs crates/graph/src/generators.rs crates/graph/src/sampler.rs crates/graph/src/stats.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/algo.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/sampler.rs:
+crates/graph/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

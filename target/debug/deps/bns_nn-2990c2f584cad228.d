@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/bns_nn-2990c2f584cad228.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/aggregate.rs crates/nn/src/gradcheck.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/gat.rs crates/nn/src/layers/gcn.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/sage.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/optim.rs
+
+/root/repo/target/debug/deps/libbns_nn-2990c2f584cad228.rlib: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/aggregate.rs crates/nn/src/gradcheck.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/gat.rs crates/nn/src/layers/gcn.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/sage.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/optim.rs
+
+/root/repo/target/debug/deps/libbns_nn-2990c2f584cad228.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/aggregate.rs crates/nn/src/gradcheck.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/gat.rs crates/nn/src/layers/gcn.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/sage.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/optim.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/aggregate.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/gat.rs:
+crates/nn/src/layers/gcn.rs:
+crates/nn/src/layers/linear.rs:
+crates/nn/src/layers/sage.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/models.rs:
+crates/nn/src/optim.rs:

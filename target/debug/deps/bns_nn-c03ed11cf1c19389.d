@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/bns_nn-c03ed11cf1c19389.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/aggregate.rs crates/nn/src/gradcheck.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/gat.rs crates/nn/src/layers/gcn.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/sage.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/optim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbns_nn-c03ed11cf1c19389.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/aggregate.rs crates/nn/src/gradcheck.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/gat.rs crates/nn/src/layers/gcn.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/sage.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/optim.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/aggregate.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/gat.rs:
+crates/nn/src/layers/gcn.rs:
+crates/nn/src/layers/linear.rs:
+crates/nn/src/layers/sage.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/models.rs:
+crates/nn/src/optim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bns_partition-283bcfd3c5ee98fd.d: crates/partition/src/lib.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/partitioners.rs crates/partition/src/partitioning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbns_partition-283bcfd3c5ee98fd.rmeta: crates/partition/src/lib.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/partitioners.rs crates/partition/src/partitioning.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/multilevel.rs:
+crates/partition/src/partitioners.rs:
+crates/partition/src/partitioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

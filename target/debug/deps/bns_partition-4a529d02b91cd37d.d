@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bns_partition-4a529d02b91cd37d.d: crates/partition/src/lib.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/partitioners.rs crates/partition/src/partitioning.rs
+
+/root/repo/target/debug/deps/bns_partition-4a529d02b91cd37d: crates/partition/src/lib.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/partitioners.rs crates/partition/src/partitioning.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/multilevel.rs:
+crates/partition/src/partitioners.rs:
+crates/partition/src/partitioning.rs:

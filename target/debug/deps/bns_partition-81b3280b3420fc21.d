@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bns_partition-81b3280b3420fc21.d: crates/partition/src/lib.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/partitioners.rs crates/partition/src/partitioning.rs
+
+/root/repo/target/debug/deps/libbns_partition-81b3280b3420fc21.rlib: crates/partition/src/lib.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/partitioners.rs crates/partition/src/partitioning.rs
+
+/root/repo/target/debug/deps/libbns_partition-81b3280b3420fc21.rmeta: crates/partition/src/lib.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/partitioners.rs crates/partition/src/partitioning.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/multilevel.rs:
+crates/partition/src/partitioners.rs:
+crates/partition/src/partitioning.rs:

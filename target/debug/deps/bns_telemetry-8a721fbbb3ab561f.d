@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bns_telemetry-8a721fbbb3ab561f.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbns_telemetry-8a721fbbb3ab561f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

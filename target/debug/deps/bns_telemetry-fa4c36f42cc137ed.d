@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bns_telemetry-fa4c36f42cc137ed.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libbns_telemetry-fa4c36f42cc137ed.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libbns_telemetry-fa4c36f42cc137ed.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-1a0e194d740a38e0.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-1a0e194d740a38e0.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-1a0e194d740a38e0.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-4ea42eeeaadc717a.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-4ea42eeeaadc717a: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

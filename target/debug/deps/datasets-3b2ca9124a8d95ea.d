@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datasets-3b2ca9124a8d95ea.d: crates/data/tests/datasets.rs
+
+/root/repo/target/debug/deps/datasets-3b2ca9124a8d95ea: crates/data/tests/datasets.rs
+
+crates/data/tests/datasets.rs:

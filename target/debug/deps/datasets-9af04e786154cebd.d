@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datasets-9af04e786154cebd.d: crates/data/tests/datasets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatasets-9af04e786154cebd.rmeta: crates/data/tests/datasets.rs Cargo.toml
+
+crates/data/tests/datasets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

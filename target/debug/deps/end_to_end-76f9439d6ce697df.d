@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-76f9439d6ce697df.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-76f9439d6ce697df: tests/end_to_end.rs
+
+tests/end_to_end.rs:

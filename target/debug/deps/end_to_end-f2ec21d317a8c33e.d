@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f2ec21d317a8c33e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f2ec21d317a8c33e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradients-55a7826ad1a82e66.d: crates/nn/tests/gradients.rs
+
+/root/repo/target/debug/deps/gradients-55a7826ad1a82e66: crates/nn/tests/gradients.rs
+
+crates/nn/tests/gradients.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gradients-b1e41b11575f7229.d: crates/nn/tests/gradients.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgradients-b1e41b11575f7229.rmeta: crates/nn/tests/gradients.rs Cargo.toml
+
+crates/nn/tests/gradients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c16929a86407d825.d: crates/tensor/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c16929a86407d825: crates/tensor/tests/properties.rs
+
+crates/tensor/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-17e5e9ede5a5c004.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-17e5e9ede5a5c004: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3ac764033c09d244.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3ac764033c09d244: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quality-3760a9f614fd39d8.d: crates/partition/tests/quality.rs
+
+/root/repo/target/debug/deps/quality-3760a9f614fd39d8: crates/partition/tests/quality.rs
+
+crates/partition/tests/quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quality-9a80754c9d3b6840.d: crates/partition/tests/quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquality-9a80754c9d3b6840.rmeta: crates/partition/tests/quality.rs Cargo.toml
+
+crates/partition/tests/quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-3b11fb855d19cd70.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-3b11fb855d19cd70: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

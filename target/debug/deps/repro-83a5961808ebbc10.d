@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-83a5961808ebbc10.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-83a5961808ebbc10: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-0dbab541cf8a9d12.d: crates/core/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-0dbab541cf8a9d12: crates/core/tests/robustness.rs
+
+crates/core/tests/robustness.rs:

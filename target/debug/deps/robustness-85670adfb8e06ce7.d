@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-85670adfb8e06ce7.d: crates/core/tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-85670adfb8e06ce7.rmeta: crates/core/tests/robustness.rs Cargo.toml
+
+crates/core/tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-d27e0b8447dd1d4e.d: crates/core/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-d27e0b8447dd1d4e: crates/core/tests/robustness.rs
+
+crates/core/tests/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-1551a7e9907b4265.d: crates/comm/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-1551a7e9907b4265.rmeta: crates/comm/tests/stress.rs Cargo.toml
+
+crates/comm/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-5ff9aec53c2b1d74.d: crates/comm/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-5ff9aec53c2b1d74: crates/comm/tests/stress.rs
+
+crates/comm/tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-da272e8f8a92d0f3.d: crates/comm/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-da272e8f8a92d0f3: crates/comm/tests/stress.rs
+
+crates/comm/tests/stress.rs:

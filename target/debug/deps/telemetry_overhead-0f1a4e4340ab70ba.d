@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_overhead-0f1a4e4340ab70ba.d: crates/bench/benches/telemetry_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_overhead-0f1a4e4340ab70ba.rmeta: crates/bench/benches/telemetry_overhead.rs Cargo.toml
+
+crates/bench/benches/telemetry_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_spans-9779ce8dfdb5b55e.d: crates/core/tests/telemetry_spans.rs
+
+/root/repo/target/debug/deps/telemetry_spans-9779ce8dfdb5b55e: crates/core/tests/telemetry_spans.rs
+
+crates/core/tests/telemetry_spans.rs:

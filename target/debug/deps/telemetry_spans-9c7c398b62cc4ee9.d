@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_spans-9c7c398b62cc4ee9.d: crates/core/tests/telemetry_spans.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_spans-9c7c398b62cc4ee9.rmeta: crates/core/tests/telemetry_spans.rs Cargo.toml
+
+crates/core/tests/telemetry_spans.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traffic_props-467c24a9841add81.d: crates/comm/tests/traffic_props.rs
+
+/root/repo/target/debug/deps/traffic_props-467c24a9841add81: crates/comm/tests/traffic_props.rs
+
+crates/comm/tests/traffic_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/traffic_props-747dfb63a0c66eec.d: crates/comm/tests/traffic_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraffic_props-747dfb63a0c66eec.rmeta: crates/comm/tests/traffic_props.rs Cargo.toml
+
+crates/comm/tests/traffic_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

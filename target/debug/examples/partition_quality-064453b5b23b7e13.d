@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_quality-064453b5b23b7e13.d: examples/partition_quality.rs
+
+/root/repo/target/debug/examples/partition_quality-064453b5b23b7e13: examples/partition_quality.rs
+
+examples/partition_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_quality-9f7907f7494942af.d: examples/partition_quality.rs
+
+/root/repo/target/debug/examples/partition_quality-9f7907f7494942af: examples/partition_quality.rs
+
+examples/partition_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/partition_quality-f9fc77ad901ed2bb.d: examples/partition_quality.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpartition_quality-f9fc77ad901ed2bb.rmeta: examples/partition_quality.rs Cargo.toml
+
+examples/partition_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

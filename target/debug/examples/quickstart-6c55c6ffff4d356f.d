@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6c55c6ffff4d356f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6c55c6ffff4d356f: examples/quickstart.rs
+
+examples/quickstart.rs:

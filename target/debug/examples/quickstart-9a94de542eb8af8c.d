@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9a94de542eb8af8c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9a94de542eb8af8c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sampling_showdown-38c29f95166635d8.d: examples/sampling_showdown.rs
+
+/root/repo/target/debug/examples/sampling_showdown-38c29f95166635d8: examples/sampling_showdown.rs
+
+examples/sampling_showdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sampling_showdown-77e63db674f7c89b.d: examples/sampling_showdown.rs
+
+/root/repo/target/debug/examples/sampling_showdown-77e63db674f7c89b: examples/sampling_showdown.rs
+
+examples/sampling_showdown.rs:

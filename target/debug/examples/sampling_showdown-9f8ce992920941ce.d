@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sampling_showdown-9f8ce992920941ce.d: examples/sampling_showdown.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsampling_showdown-9f8ce992920941ce.rmeta: examples/sampling_showdown.rs Cargo.toml
+
+examples/sampling_showdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

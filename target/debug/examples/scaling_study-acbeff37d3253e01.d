@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-acbeff37d3253e01.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-acbeff37d3253e01: examples/scaling_study.rs
+
+examples/scaling_study.rs:

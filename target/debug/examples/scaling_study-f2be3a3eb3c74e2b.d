@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-f2be3a3eb3c74e2b.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-f2be3a3eb3c74e2b: examples/scaling_study.rs
+
+examples/scaling_study.rs:

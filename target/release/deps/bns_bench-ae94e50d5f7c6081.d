@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/bns_bench-ae94e50d5f7c6081.d: crates/bench/src/lib.rs crates/bench/src/exp_ablation.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_edge.rs crates/bench/src/exp_gat.rs crates/bench/src/exp_memory.rs crates/bench/src/exp_partition.rs crates/bench/src/exp_sampling.rs crates/bench/src/exp_throughput.rs crates/bench/src/exp_variance.rs
+
+/root/repo/target/release/deps/libbns_bench-ae94e50d5f7c6081.rlib: crates/bench/src/lib.rs crates/bench/src/exp_ablation.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_edge.rs crates/bench/src/exp_gat.rs crates/bench/src/exp_memory.rs crates/bench/src/exp_partition.rs crates/bench/src/exp_sampling.rs crates/bench/src/exp_throughput.rs crates/bench/src/exp_variance.rs
+
+/root/repo/target/release/deps/libbns_bench-ae94e50d5f7c6081.rmeta: crates/bench/src/lib.rs crates/bench/src/exp_ablation.rs crates/bench/src/exp_accuracy.rs crates/bench/src/exp_edge.rs crates/bench/src/exp_gat.rs crates/bench/src/exp_memory.rs crates/bench/src/exp_partition.rs crates/bench/src/exp_sampling.rs crates/bench/src/exp_throughput.rs crates/bench/src/exp_variance.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp_ablation.rs:
+crates/bench/src/exp_accuracy.rs:
+crates/bench/src/exp_edge.rs:
+crates/bench/src/exp_gat.rs:
+crates/bench/src/exp_memory.rs:
+crates/bench/src/exp_partition.rs:
+crates/bench/src/exp_sampling.rs:
+crates/bench/src/exp_throughput.rs:
+crates/bench/src/exp_variance.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bns_comm-4a0b2d2bf79137c7.d: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs
+
+/root/repo/target/release/deps/libbns_comm-4a0b2d2bf79137c7.rlib: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs
+
+/root/repo/target/release/deps/libbns_comm-4a0b2d2bf79137c7.rmeta: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/cost.rs:
+crates/comm/src/rank.rs:
+crates/comm/src/traffic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bns_comm-751c8d1bce0e3beb.d: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs
+
+/root/repo/target/release/deps/libbns_comm-751c8d1bce0e3beb.rlib: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs
+
+/root/repo/target/release/deps/libbns_comm-751c8d1bce0e3beb.rmeta: crates/comm/src/lib.rs crates/comm/src/cost.rs crates/comm/src/rank.rs crates/comm/src/traffic.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/cost.rs:
+crates/comm/src/rank.rs:
+crates/comm/src/traffic.rs:

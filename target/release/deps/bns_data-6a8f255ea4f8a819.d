@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bns_data-6a8f255ea4f8a819.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/spec.rs
+
+/root/repo/target/release/deps/libbns_data-6a8f255ea4f8a819.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/spec.rs
+
+/root/repo/target/release/deps/libbns_data-6a8f255ea4f8a819.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/spec.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/spec.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/bns_gcn-62a1e04fd003e34c.d: crates/core/src/lib.rs crates/core/src/costsim.rs crates/core/src/engine.rs crates/core/src/fullgraph.rs crates/core/src/memory.rs crates/core/src/minibatch.rs crates/core/src/plan.rs crates/core/src/sampling.rs crates/core/src/variance.rs
+
+/root/repo/target/release/deps/libbns_gcn-62a1e04fd003e34c.rlib: crates/core/src/lib.rs crates/core/src/costsim.rs crates/core/src/engine.rs crates/core/src/fullgraph.rs crates/core/src/memory.rs crates/core/src/minibatch.rs crates/core/src/plan.rs crates/core/src/sampling.rs crates/core/src/variance.rs
+
+/root/repo/target/release/deps/libbns_gcn-62a1e04fd003e34c.rmeta: crates/core/src/lib.rs crates/core/src/costsim.rs crates/core/src/engine.rs crates/core/src/fullgraph.rs crates/core/src/memory.rs crates/core/src/minibatch.rs crates/core/src/plan.rs crates/core/src/sampling.rs crates/core/src/variance.rs
+
+crates/core/src/lib.rs:
+crates/core/src/costsim.rs:
+crates/core/src/engine.rs:
+crates/core/src/fullgraph.rs:
+crates/core/src/memory.rs:
+crates/core/src/minibatch.rs:
+crates/core/src/plan.rs:
+crates/core/src/sampling.rs:
+crates/core/src/variance.rs:

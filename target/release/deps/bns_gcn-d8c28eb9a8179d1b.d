@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/bns_gcn-d8c28eb9a8179d1b.d: crates/core/src/lib.rs crates/core/src/costsim.rs crates/core/src/engine.rs crates/core/src/fullgraph.rs crates/core/src/memory.rs crates/core/src/minibatch.rs crates/core/src/plan.rs crates/core/src/sampling.rs crates/core/src/variance.rs
+
+/root/repo/target/release/deps/libbns_gcn-d8c28eb9a8179d1b.rlib: crates/core/src/lib.rs crates/core/src/costsim.rs crates/core/src/engine.rs crates/core/src/fullgraph.rs crates/core/src/memory.rs crates/core/src/minibatch.rs crates/core/src/plan.rs crates/core/src/sampling.rs crates/core/src/variance.rs
+
+/root/repo/target/release/deps/libbns_gcn-d8c28eb9a8179d1b.rmeta: crates/core/src/lib.rs crates/core/src/costsim.rs crates/core/src/engine.rs crates/core/src/fullgraph.rs crates/core/src/memory.rs crates/core/src/minibatch.rs crates/core/src/plan.rs crates/core/src/sampling.rs crates/core/src/variance.rs
+
+crates/core/src/lib.rs:
+crates/core/src/costsim.rs:
+crates/core/src/engine.rs:
+crates/core/src/fullgraph.rs:
+crates/core/src/memory.rs:
+crates/core/src/minibatch.rs:
+crates/core/src/plan.rs:
+crates/core/src/sampling.rs:
+crates/core/src/variance.rs:

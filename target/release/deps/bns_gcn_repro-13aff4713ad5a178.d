@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bns_gcn_repro-13aff4713ad5a178.d: src/lib.rs
+
+/root/repo/target/release/deps/libbns_gcn_repro-13aff4713ad5a178.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbns_gcn_repro-13aff4713ad5a178.rmeta: src/lib.rs
+
+src/lib.rs:

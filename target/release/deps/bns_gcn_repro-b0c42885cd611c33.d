@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bns_gcn_repro-b0c42885cd611c33.d: src/lib.rs
+
+/root/repo/target/release/deps/libbns_gcn_repro-b0c42885cd611c33.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbns_gcn_repro-b0c42885cd611c33.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bns_graph-47ecfcfd9a39020e.d: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/csr.rs crates/graph/src/generators.rs crates/graph/src/sampler.rs crates/graph/src/stats.rs
+
+/root/repo/target/release/deps/libbns_graph-47ecfcfd9a39020e.rlib: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/csr.rs crates/graph/src/generators.rs crates/graph/src/sampler.rs crates/graph/src/stats.rs
+
+/root/repo/target/release/deps/libbns_graph-47ecfcfd9a39020e.rmeta: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/csr.rs crates/graph/src/generators.rs crates/graph/src/sampler.rs crates/graph/src/stats.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/algo.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/sampler.rs:
+crates/graph/src/stats.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/bns_nn-fa49b25e15f34e7c.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/aggregate.rs crates/nn/src/gradcheck.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/gat.rs crates/nn/src/layers/gcn.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/sage.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/optim.rs
+
+/root/repo/target/release/deps/libbns_nn-fa49b25e15f34e7c.rlib: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/aggregate.rs crates/nn/src/gradcheck.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/gat.rs crates/nn/src/layers/gcn.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/sage.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/optim.rs
+
+/root/repo/target/release/deps/libbns_nn-fa49b25e15f34e7c.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/aggregate.rs crates/nn/src/gradcheck.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/gat.rs crates/nn/src/layers/gcn.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/sage.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/optim.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/aggregate.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/gat.rs:
+crates/nn/src/layers/gcn.rs:
+crates/nn/src/layers/linear.rs:
+crates/nn/src/layers/sage.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/models.rs:
+crates/nn/src/optim.rs:

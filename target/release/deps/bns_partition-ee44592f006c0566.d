@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bns_partition-ee44592f006c0566.d: crates/partition/src/lib.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/partitioners.rs crates/partition/src/partitioning.rs
+
+/root/repo/target/release/deps/libbns_partition-ee44592f006c0566.rlib: crates/partition/src/lib.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/partitioners.rs crates/partition/src/partitioning.rs
+
+/root/repo/target/release/deps/libbns_partition-ee44592f006c0566.rmeta: crates/partition/src/lib.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/partitioners.rs crates/partition/src/partitioning.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/multilevel.rs:
+crates/partition/src/partitioners.rs:
+crates/partition/src/partitioning.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bns_telemetry-545801bc82728afd.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libbns_telemetry-545801bc82728afd.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libbns_telemetry-545801bc82728afd.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:

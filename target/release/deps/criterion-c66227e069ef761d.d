@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-c66227e069ef761d.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c66227e069ef761d.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c66227e069ef761d.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-c43a022f74c7067d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-c43a022f74c7067d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

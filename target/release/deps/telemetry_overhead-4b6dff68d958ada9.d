@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_overhead-4b6dff68d958ada9.d: crates/bench/benches/telemetry_overhead.rs
+
+/root/repo/target/release/deps/telemetry_overhead-4b6dff68d958ada9: crates/bench/benches/telemetry_overhead.rs
+
+crates/bench/benches/telemetry_overhead.rs:

@@ -73,10 +73,7 @@ fn p1_equals_fullgraph_for_any_partitioning() {
             seed: 5,
         },
     );
-    for (partitioner, k) in [
-        ("metis", 3usize),
-        ("random", 5),
-    ] {
+    for (partitioner, k) in [("metis", 3usize), ("random", 5)] {
         let part = if partitioner == "metis" {
             MetisLikePartitioner::default().partition(&ds.graph, k, 0)
         } else {

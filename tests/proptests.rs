@@ -7,8 +7,11 @@ use proptest::prelude::*;
 
 /// An arbitrary small graph from random edges.
 fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    (5usize..60, proptest::collection::vec((0usize..60, 0usize..60), 0..200)).prop_map(
-        |(n, edges)| {
+    (
+        5usize..60,
+        proptest::collection::vec((0usize..60, 0usize..60), 0..200),
+    )
+        .prop_map(|(n, edges)| {
             let mut b = GraphBuilder::new(n);
             for (u, v) in edges {
                 if u < n && v < n {
@@ -16,8 +19,7 @@ fn arb_graph() -> impl Strategy<Value = CsrGraph> {
                 }
             }
             b.build()
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,202 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Provides the subset of proptest this workspace uses: the
+//! [`proptest!`] macro, `prop_assert*!` macros, [`Strategy`] with
+//! `prop_map`, range/tuple strategies, [`collection::vec`], [`Just`],
+//! and [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic**: each test's input stream is seeded from the
+//!   test's module path, so every run sees the same cases. A failure
+//!   message reports the case index; re-running reproduces it exactly.
+//! * **No shrinking**: the failing inputs are whatever the reported
+//!   case generated.
+//! * Inclusive numeric ranges occasionally emit their exact endpoints
+//!   (real proptest biases toward edge cases similarly).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+
+/// Defines deterministic property tests.
+///
+/// Supported grammar (a subset of real proptest):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(12))] // optional
+///     /// doc comments allowed
+///     #[test]
+///     fn my_prop(x in 0usize..10, v in proptest::collection::vec(0u64..5, 3)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::proptest!(@items ($cfg); $($rest)*);
+    };
+    ( @items ($cfg:expr); ) => {};
+    ( @items ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}\n\
+                         (cases are deterministic; rerun reproduces this input — no shrinking)",
+                        case + 1, cfg.cases, stringify!($name), e
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@items ($cfg); $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@items ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Fails the current proptest case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current proptest case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), l, r
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Fails the current proptest case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($lhs), stringify!($rhs), l
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  both: {:?}", format!($($fmt)+), l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -2.0f32..2.0, z in 0u64..=5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!(z <= 5);
+        }
+
+        #[test]
+        fn tuples_and_vec(pair in (0usize..4, 10usize..20), v in crate::collection::vec(0u32..7, 0..9)) {
+            prop_assert!(pair.0 < 4 && pair.1 >= 10);
+            prop_assert!(v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 7), "bad element in {:?}", v);
+        }
+
+        #[test]
+        fn prop_map_works(n in (1usize..5).prop_map(|n| n * 10)) {
+            prop_assert!(n % 10 == 0 && (10..50).contains(&n));
+            prop_assert_ne!(n, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_and_early_return(n in 0usize..100) {
+            if n > 50 { return Ok(()); }
+            prop_assert!(n <= 50);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::test_runner::TestRng::deterministic("stream");
+        let mut b = crate::test_runner::TestRng::deterministic("stream");
+        let s = 0usize..1000;
+        for _ in 0..32 {
+            assert_eq!(
+                Strategy::generate(&s, &mut a),
+                Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_report_case() {
+        proptest! {
+            fn always_fails(x in 0usize..3) {
+                prop_assert!(x > 10, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
