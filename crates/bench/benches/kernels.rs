@@ -11,6 +11,7 @@ use bns_gcn::sampling::{build_epoch_topology, BoundarySampling};
 use bns_nn::aggregate::scaled_sum_aggregate;
 use bns_nn::{Activation, SageLayer};
 use bns_partition::{MetisLikePartitioner, Partitioner, RandomPartitioner};
+use bns_tensor::pool::{self, ThreadPool};
 use bns_tensor::{Matrix, SeededRng};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
@@ -28,6 +29,26 @@ fn bench_matmul(c: &mut Criterion) {
     });
 }
 
+/// Serial vs 4-thread pool on the largest matmul shape — the headline
+/// comparison for the parallel backend (acceptance target: >= 2x at 4
+/// threads on a machine with >= 4 cores).
+fn bench_matmul_parallel(c: &mut Criterion) {
+    let mut rng = SeededRng::new(6);
+    let a = Matrix::random_normal(512, 512, 0.0, 1.0, &mut rng);
+    let b = Matrix::random_normal(512, 512, 0.0, 1.0, &mut rng);
+    c.bench_function("matmul_512_serial", |bch| {
+        bch.iter(|| black_box(a.matmul(&b)));
+    });
+    c.bench_function("matmul_512_pool4", |bch| {
+        let _guard = pool::install(ThreadPool::new(4));
+        bch.iter(|| black_box(a.matmul(&b)));
+    });
+    c.bench_function("matmul_tn_512_pool4", |bch| {
+        let _guard = pool::install(ThreadPool::new(4));
+        bch.iter(|| black_box(a.matmul_tn(&b)));
+    });
+}
+
 fn bench_aggregate(c: &mut Criterion) {
     let mut rng = SeededRng::new(2);
     let ds = SyntheticSpec::reddit_sim().with_nodes(4_000).generate(1);
@@ -35,6 +56,10 @@ fn bench_aggregate(c: &mut Criterion) {
     let h = Matrix::random_normal(n, 64, 0.0, 1.0, &mut rng);
     let scale = ds.mean_scale();
     c.bench_function("mean_aggregate_4k_d64", |bch| {
+        bch.iter(|| black_box(scaled_sum_aggregate(&ds.graph, &h, n, &scale)));
+    });
+    c.bench_function("mean_aggregate_4k_d64_pool4", |bch| {
+        let _guard = pool::install(ThreadPool::new(4));
         bch.iter(|| black_box(scaled_sum_aggregate(&ds.graph, &h, n, &scale)));
     });
 }
@@ -133,6 +158,7 @@ criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(10);
     targets = bench_matmul,
+        bench_matmul_parallel,
         bench_aggregate,
         bench_partitioners,
         bench_boundary_sampling,

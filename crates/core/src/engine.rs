@@ -929,6 +929,16 @@ fn estimate_flops(
 
 fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> RankOutput {
     let me = comm.rank();
+    // Per-rank kernel pool: the machine budget (BNS_THREADS or available
+    // parallelism) split so ranks x threads <= budget. A share of 1 means
+    // no pool — kernels stay on the serial path.
+    let pool_threads = bns_tensor::ThreadConfig::from_env()
+        .for_ranks(plan.k)
+        .threads;
+    let pool = (pool_threads > 1).then(|| bns_tensor::ThreadPool::new(pool_threads));
+    let _pool_guard = pool
+        .as_ref()
+        .map(|p| bns_tensor::pool::install(Arc::clone(p)));
     let lp = Arc::clone(&plan.parts[me]);
     let n_in = lp.n_inner();
     let d_out_classes = plan.num_classes;
@@ -1205,6 +1215,13 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
             test,
         });
     }
+
+    if let Some(p) = &pool {
+        let stats = p.stats();
+        bns_telemetry::counter_add("pool.parallel_dispatches", stats.parallel_dispatches);
+        bns_telemetry::counter_add("pool.jobs", stats.jobs);
+    }
+    bns_telemetry::counter_add("pool.threads", pool_threads as u64);
 
     RankOutput {
         epochs: epochs_out,

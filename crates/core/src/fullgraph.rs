@@ -56,6 +56,10 @@ pub struct FullGraphRun {
 
 /// Trains GraphSAGE on the whole graph in one process.
 pub fn train_full(ds: &Dataset, cfg: &FullGraphConfig) -> FullGraphRun {
+    // Single rank: give the kernels the whole thread budget.
+    let pool_threads = bns_tensor::ThreadConfig::from_env().threads;
+    let pool = (pool_threads > 1).then(|| bns_tensor::ThreadPool::new(pool_threads));
+    let _pool_guard = pool.map(bns_tensor::pool::install);
     let mut dims = vec![ds.feat_dim()];
     dims.extend_from_slice(&cfg.hidden);
     dims.push(ds.num_classes);

@@ -72,7 +72,7 @@ impl BoundarySampling {
                 p <= 0.0 || p >= 1.0
             }
             BoundarySampling::BoundaryEdge { keep } | BoundarySampling::DropEdge { keep } => {
-                keep >= 1.0
+                keep <= 0.0 || keep >= 1.0
             }
         }
     }
@@ -430,5 +430,12 @@ mod tests {
         assert!(BoundarySampling::Bns { p: 0.0 }.is_static());
         assert!(!BoundarySampling::Bns { p: 0.5 }.is_static());
         assert!(!BoundarySampling::DropEdge { keep: 0.9 }.is_static());
+        // keep = 0 keeps nothing and keep = 1 keeps everything; both are
+        // as static as p = 0 / p = 1.
+        assert!(BoundarySampling::BoundaryEdge { keep: 1.0 }.is_static());
+        assert!(BoundarySampling::BoundaryEdge { keep: 0.0 }.is_static());
+        assert!(!BoundarySampling::BoundaryEdge { keep: 0.5 }.is_static());
+        assert!(BoundarySampling::DropEdge { keep: 1.0 }.is_static());
+        assert!(BoundarySampling::DropEdge { keep: 0.0 }.is_static());
     }
 }

@@ -12,9 +12,104 @@
 //! locally (the engine pre-scales received boundary rows by `1/p`).
 
 use bns_graph::CsrGraph;
-use bns_tensor::Matrix;
+use bns_tensor::{pool, Matrix};
+
+/// A `*mut f32` the pool closures may carry across threads. Sound
+/// because every user writes only to a disjoint row range of the
+/// pointee (see the SAFETY comments at each use).
+#[derive(Clone, Copy)]
+struct SendMutPtr(*mut f32);
+unsafe impl Send for SendMutPtr {}
+unsafe impl Sync for SendMutPtr {}
+
+impl SendMutPtr {
+    /// Accessed via a method so closures capture the whole `Send`
+    /// wrapper — a 2021-edition closure naming the field directly would
+    /// capture only the raw (non-`Send`) pointer.
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Same idea for `*mut Matrix` (per-block partial buffers).
+#[derive(Clone, Copy)]
+struct SendMatPtr(*mut Matrix);
+unsafe impl Send for SendMatPtr {}
+unsafe impl Sync for SendMatPtr {}
+
+impl SendMatPtr {
+    fn get(self) -> *mut Matrix {
+        self.0
+    }
+}
+
+/// Minimum target rows per parallel block for the forward kernels
+/// (below this the per-dispatch overhead dominates).
+const AGG_MIN_ROWS: usize = 64;
+
+/// Source rows per backward scatter block. The block structure is a
+/// function of the problem size only — never of the thread count — so
+/// the partial-buffer reduction below is bitwise reproducible under
+/// any pool size.
+const SCATTER_BLOCK_ROWS: usize = 256;
+
+/// Upper bound on backward scatter blocks, bounding partial-buffer
+/// memory at `SCATTER_MAX_BLOCKS x n_rows_h x d` floats.
+const SCATTER_MAX_BLOCKS: usize = 8;
+
+/// Number of scatter blocks for `n_out` source rows (thread-count
+/// independent; see [`SCATTER_BLOCK_ROWS`]).
+fn scatter_blocks(n_out: usize) -> usize {
+    (n_out.div_ceil(SCATTER_BLOCK_ROWS)).clamp(1, SCATTER_MAX_BLOCKS)
+}
+
+/// Shared scatter skeleton for the backward kernels: splits the source
+/// rows `0..n_out` into [`scatter_blocks`] contiguous blocks, runs
+/// `emit(v_range, partial)` per block (each into its own zeroed
+/// `n_rows_h x d` partial), then reduces the partials into the result
+/// **in ascending block order**. Because both the block boundaries and
+/// the reduction order depend only on `n_out`, the f32 summation tree
+/// per output element is fixed: results are bitwise identical whether
+/// the blocks ran on one thread or many.
+fn blocked_scatter(
+    n_out: usize,
+    n_rows_h: usize,
+    d: usize,
+    emit: &(dyn Fn(std::ops::Range<usize>, &mut Matrix) + Sync),
+) -> Matrix {
+    let nblocks = scatter_blocks(n_out);
+    let mut dh = Matrix::zeros(n_rows_h, d);
+    if nblocks <= 1 {
+        emit(0..n_out, &mut dh);
+        return dh;
+    }
+    let chunk = n_out.div_ceil(nblocks);
+    let mut partials: Vec<Matrix> = (0..nblocks).map(|_| Matrix::zeros(n_rows_h, d)).collect();
+    {
+        let pptr = SendMatPtr(partials.as_mut_ptr());
+        pool::parallel_row_blocks(nblocks, 1, &|b0, b1| {
+            for b in b0..b1 {
+                // SAFETY: block `b` exclusively owns partials[b]; the
+                // Vec outlives the dispatch, which blocks until every
+                // job has finished.
+                let part = unsafe { &mut *pptr.get().add(b) };
+                emit(b * chunk..((b + 1) * chunk).min(n_out), part);
+            }
+        });
+    }
+    // Reduce in fixed ascending block order: the per-element f32
+    // summation tree never depends on how many threads ran the blocks.
+    for p in &partials {
+        dh.add_assign(p);
+    }
+    dh
+}
 
 /// `z_v = row_scale[v] · Σ_{u ∈ N_g(v)} h_u` for `v < n_out`.
+///
+/// Parallel over blocks of target rows `v` (each row is written by
+/// exactly one thread in a fixed neighbor order, so the result is
+/// bitwise deterministic at any pool size).
 ///
 /// # Panics
 ///
@@ -26,24 +121,33 @@ pub fn scaled_sum_aggregate(g: &CsrGraph, h: &Matrix, n_out: usize, row_scale: &
     assert_eq!(row_scale.len(), n_out, "row_scale length mismatch");
     let d = h.cols();
     let mut z = Matrix::zeros(n_out, d);
-    for (v, &s) in row_scale.iter().enumerate() {
-        let zr = z.row_mut(v);
-        for &u in g.neighbors(v) {
-            let hu = h.row(u as usize);
-            for (a, b) in zr.iter_mut().zip(hu) {
-                *a += b;
+    let zptr = SendMutPtr(z.as_mut_slice().as_mut_ptr());
+    pool::parallel_row_blocks(n_out, AGG_MIN_ROWS, &|v0, v1| {
+        // SAFETY: this block owns the disjoint target rows [v0, v1).
+        let zblock =
+            unsafe { std::slice::from_raw_parts_mut(zptr.get().add(v0 * d), (v1 - v0) * d) };
+        for (zr, v) in zblock.chunks_exact_mut(d).zip(v0..v1) {
+            for &u in g.neighbors(v) {
+                let hu = h.row(u as usize);
+                for (a, b) in zr.iter_mut().zip(hu) {
+                    *a += b;
+                }
+            }
+            let s = row_scale[v];
+            for a in zr.iter_mut() {
+                *a *= s;
             }
         }
-        for a in zr.iter_mut() {
-            *a *= s;
-        }
-    }
+    });
     z
 }
 
 /// Adjoint of [`scaled_sum_aggregate`]: given `dz` (`n_out x d`), returns
 /// `dh` (`n_rows_h x d`) with `dh_u = Σ_{v ∈ N_g(u), v < n_out}
 /// row_scale[v] · dz_v`.
+///
+/// Parallel via per-block partial `dh` buffers reduced in fixed order
+/// (see [`blocked_scatter`]); bitwise deterministic at any pool size.
 ///
 /// # Panics
 ///
@@ -59,17 +163,18 @@ pub fn scaled_sum_aggregate_backward(
     assert!(n_rows_h >= g.num_nodes(), "output too small");
     assert_eq!(row_scale.len(), n_out, "row_scale length mismatch");
     let d = dz.cols();
-    let mut dh = Matrix::zeros(n_rows_h, d);
-    for (v, &s) in row_scale.iter().enumerate() {
-        let dzv: Vec<f32> = dz.row(v).iter().map(|x| x * s).collect();
-        for &u in g.neighbors(v) {
-            let hr = dh.row_mut(u as usize);
-            for (a, b) in hr.iter_mut().zip(&dzv) {
-                *a += b;
+    blocked_scatter(n_out, n_rows_h, d, &|vs, dh| {
+        for v in vs {
+            let s = row_scale[v];
+            let dzv: Vec<f32> = dz.row(v).iter().map(|x| x * s).collect();
+            for &u in g.neighbors(v) {
+                let hr = dh.row_mut(u as usize);
+                for (a, b) in hr.iter_mut().zip(&dzv) {
+                    *a += b;
+                }
             }
         }
-    }
-    dh
+    })
 }
 
 /// Symmetric-normalized GCN aggregation with self-loops (Kipf & Welling):
@@ -85,51 +190,57 @@ pub fn gcn_aggregate(g: &CsrGraph, h: &Matrix, n_out: usize, s: &[f32]) -> Matri
     assert!(s.len() >= g.num_nodes(), "scale vector too small");
     let d = h.cols();
     let mut z = Matrix::zeros(n_out, d);
-    for v in 0..n_out {
-        let zr = z.row_mut(v);
-        for &u in g.neighbors(v) {
-            let su = s[u as usize];
-            let hu = h.row(u as usize);
-            for (a, b) in zr.iter_mut().zip(hu) {
-                *a += su * b;
+    let zptr = SendMutPtr(z.as_mut_slice().as_mut_ptr());
+    pool::parallel_row_blocks(n_out, AGG_MIN_ROWS, &|v0, v1| {
+        // SAFETY: this block owns the disjoint target rows [v0, v1).
+        let zblock =
+            unsafe { std::slice::from_raw_parts_mut(zptr.get().add(v0 * d), (v1 - v0) * d) };
+        for (zr, v) in zblock.chunks_exact_mut(d).zip(v0..v1) {
+            for &u in g.neighbors(v) {
+                let su = s[u as usize];
+                let hu = h.row(u as usize);
+                for (a, b) in zr.iter_mut().zip(hu) {
+                    *a += su * b;
+                }
+            }
+            let sv = s[v];
+            let hv = h.row(v);
+            for (a, b) in zr.iter_mut().zip(hv) {
+                *a = sv * *a + sv * sv * b;
             }
         }
-        let sv = s[v];
-        let hv = h.row(v);
-        for (i, a) in zr.iter_mut().enumerate() {
-            *a = sv * *a + sv * sv * hv[i];
-        }
-    }
+    });
     z
 }
 
-/// Adjoint of [`gcn_aggregate`].
+/// Adjoint of [`gcn_aggregate`]. Parallel with the same fixed-order
+/// partial-buffer reduction as [`scaled_sum_aggregate_backward`].
 pub fn gcn_aggregate_backward(g: &CsrGraph, dz: &Matrix, n_rows_h: usize, s: &[f32]) -> Matrix {
     let n_out = dz.rows();
     assert!(n_rows_h >= g.num_nodes(), "output too small");
     assert!(s.len() >= g.num_nodes(), "scale vector too small");
     let d = dz.cols();
-    let mut dh = Matrix::zeros(n_rows_h, d);
-    for v in 0..n_out {
-        let sv = s[v];
-        // Self-loop term.
-        {
-            let dzv = dz.row(v);
-            let hr = dh.row_mut(v);
-            for (a, b) in hr.iter_mut().zip(dzv) {
-                *a += sv * sv * b;
+    blocked_scatter(n_out, n_rows_h, d, &|vs, dh| {
+        for v in vs {
+            let sv = s[v];
+            // Self-loop term.
+            {
+                let dzv = dz.row(v);
+                let hr = dh.row_mut(v);
+                for (a, b) in hr.iter_mut().zip(dzv) {
+                    *a += sv * sv * b;
+                }
+            }
+            let dzv: Vec<f32> = dz.row(v).iter().map(|x| x * sv).collect();
+            for &u in g.neighbors(v) {
+                let su = s[u as usize];
+                let hr = dh.row_mut(u as usize);
+                for (a, b) in hr.iter_mut().zip(&dzv) {
+                    *a += su * b;
+                }
             }
         }
-        let dzv: Vec<f32> = dz.row(v).iter().map(|x| x * sv).collect();
-        for &u in g.neighbors(v) {
-            let su = s[u as usize];
-            let hr = dh.row_mut(u as usize);
-            for (a, b) in hr.iter_mut().zip(&dzv) {
-                *a += su * b;
-            }
-        }
-    }
-    dh
+    })
 }
 
 #[cfg(test)]

@@ -83,6 +83,11 @@ impl Adam {
             .zip(self.m.iter_mut().zip(self.v.iter_mut()))
         {
             assert_eq!(p.shape(), g.shape(), "parameter shape changed");
+            assert_eq!(
+                p.shape(),
+                m.shape(),
+                "parameter shape differs from first-call shape"
+            );
             let pd = p.as_mut_slice();
             let gd = g.as_slice();
             let md = m.as_mut_slice();
@@ -146,5 +151,19 @@ mod tests {
     fn mismatched_counts_panic() {
         let mut x = Matrix::zeros(1, 1);
         Adam::new(0.1).step(&mut [&mut x], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "differs from first-call shape")]
+    fn reshaped_parameter_panics() {
+        // Same param count but a different shape on the second call must
+        // not silently apply the stale moments.
+        let mut opt = Adam::new(0.1);
+        let mut small = Matrix::zeros(2, 2);
+        let g_small = Matrix::zeros(2, 2);
+        opt.step(&mut [&mut small], &[&g_small]);
+        let mut big = Matrix::zeros(3, 4);
+        let g_big = Matrix::zeros(3, 4);
+        opt.step(&mut [&mut big], &[&g_big]);
     }
 }

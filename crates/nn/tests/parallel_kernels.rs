@@ -1,0 +1,137 @@
+//! Bitwise serial/parallel equivalence of the aggregation kernels, and
+//! a gradient check run entirely through the parallel path.
+//!
+//! The backward kernels scatter through per-block partial buffers whose
+//! block structure depends only on the problem size (never the thread
+//! count), reduced in fixed ascending order — so like the matmul
+//! kernels they promise *bitwise identical* results at any pool size.
+//! Graph sizes here are chosen to clear the fan-out thresholds (64
+//! target rows forward, 256 source rows backward), not just fall back
+//! to the serial path.
+
+use bns_graph::generators::erdos_renyi_m;
+use bns_nn::aggregate::{
+    gcn_aggregate, gcn_aggregate_backward, scaled_sum_aggregate, scaled_sum_aggregate_backward,
+};
+use bns_nn::gradcheck::finite_diff;
+use bns_nn::loss::softmax_cross_entropy;
+use bns_nn::SageModel;
+use bns_tensor::pool::{self, ThreadPool};
+use bns_tensor::{Matrix, SeededRng};
+use proptest::prelude::*;
+
+fn bitwise_eq(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn assert_thread_invariant(f: impl Fn() -> Matrix) -> Result<(), TestCaseError> {
+    let serial = f();
+    for threads in [1usize, 2, 4] {
+        let _guard = pool::install(ThreadPool::new(threads));
+        let parallel = f();
+        prop_assert!(
+            bitwise_eq(&serial, &parallel),
+            "{} threads diverged from serial on shape {:?}",
+            threads,
+            serial.shape()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// scaled_sum_aggregate forward + backward, random graphs/features.
+    #[test]
+    fn scaled_sum_bitwise_any_thread_count(
+        n in 80usize..600, d in 1usize..16, seed in 0u64..1_000_000
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let g = erdos_renyi_m(n, 3 * n, &mut rng);
+        let h = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
+        let dz = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
+        let scale: Vec<f32> = (0..n).map(|_| rng.uniform_range(0.1, 2.0)).collect();
+        assert_thread_invariant(|| scaled_sum_aggregate(&g, &h, n, &scale))?;
+        assert_thread_invariant(|| scaled_sum_aggregate_backward(&g, &dz, n, &scale))?;
+    }
+
+    /// gcn_aggregate forward + backward (self-loop term included).
+    #[test]
+    fn gcn_bitwise_any_thread_count(
+        n in 80usize..600, d in 1usize..16, seed in 0u64..1_000_000
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let g = erdos_renyi_m(n, 3 * n, &mut rng);
+        let h = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
+        let dz = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
+        let s: Vec<f32> = (0..n)
+            .map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt())
+            .collect();
+        assert_thread_invariant(|| gcn_aggregate(&g, &h, n, &s))?;
+        assert_thread_invariant(|| gcn_aggregate_backward(&g, &dz, n, &s))?;
+    }
+}
+
+/// Full model forward/backward is bitwise reproducible under a pool —
+/// aggregation and all three matmul flavours compose.
+#[test]
+fn model_forward_bitwise_under_pool() {
+    let mut rng = SeededRng::new(77);
+    let g = erdos_renyi_m(300, 900, &mut rng);
+    let model = SageModel::new(&[24, 32, 5], 0.0, &mut rng);
+    let x = Matrix::random_normal(300, 24, 0.0, 1.0, &mut rng);
+    let scale: Vec<f32> = (0..300).map(|v| 1.0 / g.degree(v).max(1) as f32).collect();
+
+    let serial = {
+        let mut r = SeededRng::new(0);
+        model.forward_full(&g, &x, &scale, false, &mut r).0
+    };
+    for threads in [2usize, 4] {
+        let _guard = pool::install(ThreadPool::new(threads));
+        let mut r = SeededRng::new(0);
+        let (out, _) = model.forward_full(&g, &x, &scale, false, &mut r);
+        assert!(
+            bitwise_eq(&serial, &out),
+            "model forward diverged at {threads} threads"
+        );
+    }
+}
+
+/// Finite-difference gradient check with a 4-thread pool installed:
+/// both the analytic backward and every finite-difference forward run
+/// through the parallel kernels.
+#[test]
+fn gradcheck_through_parallel_path() {
+    let _guard = pool::install(ThreadPool::new(4));
+    let mut rng = SeededRng::new(78);
+    let g = erdos_renyi_m(10, 22, &mut rng);
+    let model = SageModel::new(&[3, 4, 2], 0.0, &mut rng);
+    let x = Matrix::random_normal(10, 3, 0.0, 1.0, &mut rng);
+    let labels = vec![0usize, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+    let rows: Vec<usize> = (0..10).collect();
+    let scale: Vec<f32> = (0..10).map(|v| 1.0 / g.degree(v).max(1) as f32).collect();
+
+    let mut r = SeededRng::new(0);
+    let (out, caches) = model.forward_full(&g, &x, &scale, false, &mut r);
+    let (_, dlogits, _) = softmax_cross_entropy(&out, &labels, &rows);
+    let mut d = dlogits;
+    for l in (0..model.num_layers()).rev() {
+        let (dh, _) = model.layers[l].backward(&g, &caches[l], &d);
+        d = dh;
+    }
+    let fd = finite_diff(&x, 1e-2, |xp| {
+        let mut r = SeededRng::new(0);
+        let (out, _) = model.forward_full(&g, xp, &scale, false, &mut r);
+        softmax_cross_entropy(&out, &labels, &rows).0
+    });
+    assert!(
+        d.approx_eq(&fd, 0.08),
+        "input gradient mismatch through parallel path: {}",
+        d.max_abs_diff(&fd)
+    );
+}

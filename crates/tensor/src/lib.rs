@@ -8,6 +8,11 @@
 //! plus a deterministic random-number source ([`SeededRng`]) for
 //! initialization, dropout and sampling.
 //!
+//! The hot kernels run on a scoped, `std::thread`-only worker pool
+//! ([`pool`]) when one is installed on the calling thread; results are
+//! bitwise identical at any thread count (see the module docs for the
+//! determinism argument).
+//!
 //! # Example
 //!
 //! ```
@@ -22,10 +27,12 @@
 
 mod init;
 mod matrix;
+pub mod pool;
 mod rng;
 
 pub use init::{kaiming_uniform, xavier_uniform};
 pub use matrix::Matrix;
+pub use pool::{ThreadConfig, ThreadPool};
 pub use rng::SeededRng;
 
 /// Absolute tolerance used by [`Matrix::approx_eq`] helpers in tests across

@@ -214,8 +214,14 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses an i-k-j loop order so the inner loop streams both operands,
-    /// which is enough for the matrix sizes in this workspace.
+    /// Row-blocked over the installed [`crate::pool`] (serial when no
+    /// pool is installed or the product is small) with a cache-blocked
+    /// i-k-j inner kernel. Every output element is accumulated in
+    /// ascending-`k` order by exactly one thread, so the result is
+    /// bitwise identical at any thread count. Unlike the earlier
+    /// scalar kernel there is **no** skip of zero entries: `0 * NaN`
+    /// must stay `NaN` (IEEE 754), so divergence in either operand
+    /// always propagates to the product.
     ///
     /// # Panics
     ///
@@ -228,23 +234,25 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let n = rhs.cols;
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            let orow = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &rhs.data[k * n..(k + 1) * n];
-                for j in 0..n {
-                    orow[j] += a * brow[j];
-                }
-            }
-        }
+        let kd = self.cols;
+        let a = &self.data;
+        let b = &rhs.data;
+        let min_rows = par_min_rows(self.rows, kd * n);
+        let optr = SendMutPtr(out.data.as_mut_ptr());
+        crate::pool::parallel_row_blocks(self.rows, min_rows, &|i0, i1| {
+            // SAFETY: each block owns the disjoint output rows [i0, i1).
+            let oblock =
+                unsafe { std::slice::from_raw_parts_mut(optr.get().add(i0 * n), (i1 - i0) * n) };
+            mm_nn_block(&a[i0 * kd..i1 * kd], b, oblock, kd, n);
+        });
         out
     }
 
     /// `self^T * rhs` without materializing the transpose.
+    ///
+    /// Parallel over blocks of output rows (= columns of `self`); the
+    /// per-element accumulation order is ascending over `self`'s rows
+    /// regardless of blocking, so results are bitwise deterministic.
     ///
     /// # Panics
     ///
@@ -257,23 +265,34 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
         let n = rhs.cols;
-        for r in 0..self.rows {
-            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
-            let brow = &rhs.data[r * n..(r + 1) * n];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += a * brow[j];
+        let kd = self.cols;
+        let rows = self.rows;
+        let a = &self.data;
+        let b = &rhs.data;
+        let min_rows = par_min_rows(kd, rows * n);
+        let optr = SendMutPtr(out.data.as_mut_ptr());
+        crate::pool::parallel_row_blocks(kd, min_rows, &|i0, i1| {
+            // SAFETY: disjoint output rows [i0, i1) per block.
+            let oblock =
+                unsafe { std::slice::from_raw_parts_mut(optr.get().add(i0 * n), (i1 - i0) * n) };
+            for r in 0..rows {
+                let arow = &a[r * kd..(r + 1) * kd];
+                let brow = &b[r * n..(r + 1) * n];
+                for (orow, &av) in oblock.chunks_exact_mut(n).zip(&arow[i0..i1]) {
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// `self * rhs^T` without materializing the transpose.
+    ///
+    /// Parallel over blocks of output rows; each element is a single
+    /// ascending-`k` dot product, bitwise deterministic at any thread
+    /// count.
     ///
     /// # Panics
     ///
@@ -285,17 +304,27 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
-                let brow = &rhs.data[j * self.cols..(j + 1) * self.cols];
-                let mut acc = 0.0f32;
-                for k in 0..self.cols {
-                    acc += arow[k] * brow[k];
+        let n = rhs.rows;
+        let kd = self.cols;
+        let a = &self.data;
+        let b = &rhs.data;
+        let min_rows = par_min_rows(self.rows, kd * n);
+        let optr = SendMutPtr(out.data.as_mut_ptr());
+        crate::pool::parallel_row_blocks(self.rows, min_rows, &|i0, i1| {
+            // SAFETY: disjoint output rows [i0, i1) per block.
+            let oblock =
+                unsafe { std::slice::from_raw_parts_mut(optr.get().add(i0 * n), (i1 - i0) * n) };
+            for (orow, i) in oblock.chunks_exact_mut(n).zip(i0..i1) {
+                let arow = &a[i * kd..(i + 1) * kd];
+                for (o, brow) in orow.iter_mut().zip(b.chunks_exact(kd)) {
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in arow.iter().zip(brow) {
+                        acc += x * y;
+                    }
+                    *o = acc;
                 }
-                out.data[i * rhs.rows + j] = acc;
             }
-        }
+        });
         out
     }
 
@@ -542,6 +571,64 @@ impl Matrix {
     }
 }
 
+/// A `*mut f32` the pool closures may carry across threads. Sound
+/// because every user writes only to a disjoint row range of the
+/// pointee (see the SAFETY comments at each use).
+#[derive(Clone, Copy)]
+struct SendMutPtr(*mut f32);
+unsafe impl Send for SendMutPtr {}
+unsafe impl Sync for SendMutPtr {}
+
+impl SendMutPtr {
+    /// Accessed via a method so closures capture the whole `Send`
+    /// wrapper — a 2021-edition closure naming the field directly would
+    /// capture only the raw (non-`Send`) pointer.
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Depth-blocking factor for the NN kernel: a `MM_KC x cols` panel of
+/// the right-hand operand is reused across every row of a block while
+/// it is hot in cache.
+const MM_KC: usize = 128;
+
+/// Minimum FLOPs-per-element budget below which a matmul stays serial
+/// (fan-out costs more than it saves on tiny products).
+const PAR_MIN_WORK: usize = 64 * 1024;
+
+/// Minimum rows per parallel block for a kernel whose per-output-row
+/// cost is `work_per_row` multiply-adds.
+fn par_min_rows(rows: usize, work_per_row: usize) -> usize {
+    if rows == 0 {
+        return 1;
+    }
+    PAR_MIN_WORK.div_ceil(work_per_row.max(1)).max(1)
+}
+
+/// The i-k-j inner kernel for `matmul` on one block of output rows:
+/// `out[i] += a[i][k] * b[k]` with `k` tiled in [`MM_KC`] panels. The
+/// per-element accumulation order is ascending `k` (panels ascend,
+/// `k` ascends within a panel), identical to the untiled loop.
+fn mm_nn_block(a_block: &[f32], b: &[f32], out_block: &mut [f32], kd: usize, n: usize) {
+    let block_rows = out_block.len() / n.max(1);
+    let mut kb = 0;
+    while kb < kd {
+        let kend = (kb + MM_KC).min(kd);
+        for i in 0..block_rows {
+            let arow = &a_block[i * kd + kb..i * kd + kend];
+            let orow = &mut out_block[i * n..(i + 1) * n];
+            for (k, &av) in arow.iter().enumerate() {
+                let brow = &b[(kb + k) * n..(kb + k + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        kb = kend;
+    }
+}
+
 impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f32;
 
@@ -634,6 +721,33 @@ mod tests {
         let a = Matrix::random_normal(6, 4, 0.0, 1.0, &mut rng);
         let b = Matrix::random_normal(5, 4, 0.0, 1.0, &mut rng);
         assert!(a.matmul_nt(&b).approx_eq(&a.matmul(&b.transpose()), 1e-5));
+    }
+
+    #[test]
+    fn zero_times_nan_propagates() {
+        // IEEE 754: 0 * NaN = NaN and 0 * Inf = NaN. A zero-entry fast
+        // path in the kernels would mask divergence in the other
+        // operand, so all three matmul flavours must propagate it.
+        let zero = Matrix::zeros(2, 2);
+        let mut bad = Matrix::zeros(2, 2);
+        bad[(0, 0)] = f32::NAN;
+        bad[(1, 1)] = f32::INFINITY;
+
+        let z = zero.matmul(&bad);
+        assert!(z[(0, 0)].is_nan(), "0 * NaN must be NaN (matmul)");
+        assert!(z[(0, 1)].is_nan(), "0 * Inf must be NaN (matmul)");
+
+        let z = zero.matmul_tn(&bad);
+        assert!(z[(0, 0)].is_nan(), "0 * NaN must be NaN (matmul_tn)");
+        assert!(z[(1, 1)].is_nan(), "0 * Inf must be NaN (matmul_tn)");
+
+        let z = zero.matmul_nt(&bad);
+        assert!(z[(0, 0)].is_nan(), "0 * NaN must be NaN (matmul_nt)");
+        assert!(z[(0, 1)].is_nan(), "0 * Inf must be NaN (matmul_nt)");
+
+        // And the mirrored case: NaN in the left operand, zeros right.
+        let z = bad.matmul(&zero);
+        assert!(z[(0, 0)].is_nan(), "NaN * 0 must be NaN (matmul)");
     }
 
     #[test]

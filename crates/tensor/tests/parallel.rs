@@ -1,0 +1,109 @@
+//! Bitwise serial/parallel equivalence of the matmul kernels.
+//!
+//! The pool's determinism contract (see `bns_tensor::pool`) promises
+//! that kernel outputs are *bitwise identical* at any thread count.
+//! These tests enforce that with `f32::to_bits` comparisons — NaN-safe
+//! and `-0.0`-strict, unlike `==` — across random shapes, at thread
+//! counts 1, 2 and 4, against the no-pool serial path.
+
+use bns_tensor::pool::{self, ThreadPool};
+use bns_tensor::{Matrix, SeededRng};
+use proptest::prelude::*;
+
+/// NaN-safe, signed-zero-strict equality.
+fn bitwise_eq(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Runs `f` serially (no pool) and under pools of 1, 2 and 4 threads,
+/// asserting every result is bitwise identical to the serial one.
+fn assert_thread_invariant(f: impl Fn() -> Matrix) -> Result<(), TestCaseError> {
+    let serial = f();
+    for threads in [1usize, 2, 4] {
+        let _guard = pool::install(ThreadPool::new(threads));
+        let parallel = f();
+        prop_assert!(
+            bitwise_eq(&serial, &parallel),
+            "{} threads diverged from serial on shape {:?}",
+            threads,
+            serial.shape()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// matmul: shapes span both the inline path (small) and real
+    /// fan-out (large rows clear the per-block work threshold).
+    #[test]
+    fn matmul_bitwise_any_thread_count(
+        m in 1usize..160, k in 1usize..64, n in 1usize..48, seed in 0u64..1_000_000
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a = Matrix::random_normal(m, k, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(k, n, 0.0, 1.0, &mut rng);
+        assert_thread_invariant(|| a.matmul(&b))?;
+    }
+
+    /// matmul_tn (A^T B): parallel over A's columns.
+    #[test]
+    fn matmul_tn_bitwise_any_thread_count(
+        m in 1usize..96, k in 1usize..96, n in 1usize..48, seed in 0u64..1_000_000
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a = Matrix::random_normal(m, k, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(m, n, 0.0, 1.0, &mut rng);
+        assert_thread_invariant(|| a.matmul_tn(&b))?;
+    }
+
+    /// matmul_nt (A B^T): parallel over A's rows.
+    #[test]
+    fn matmul_nt_bitwise_any_thread_count(
+        m in 1usize..160, k in 1usize..64, n in 1usize..48, seed in 0u64..1_000_000
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a = Matrix::random_normal(m, k, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(n, k, 0.0, 1.0, &mut rng);
+        assert_thread_invariant(|| a.matmul_nt(&b))?;
+    }
+}
+
+#[test]
+fn nan_propagates_under_parallel_dispatch() {
+    // The serial NaN regression lives in the unit tests; this pins the
+    // same IEEE behaviour on the fanned-out path (rows large enough to
+    // clear the work threshold at 4 threads).
+    let _guard = pool::install(ThreadPool::new(4));
+    let zero = Matrix::zeros(256, 64);
+    let mut bad = Matrix::zeros(64, 64);
+    bad[(0, 0)] = f32::NAN;
+    let z = zero.matmul(&bad);
+    assert!(
+        z[(0, 0)].is_nan(),
+        "0 * NaN must be NaN on the parallel path"
+    );
+    assert!(z[(255, 0)].is_nan(), "last block must also propagate NaN");
+}
+
+#[test]
+fn large_shape_dispatches_in_parallel() {
+    // Sanity-check the proptests exercise real fan-out, not just the
+    // serial fallback: a 256x64 * 64x64 product must dispatch.
+    let pool = ThreadPool::new(4);
+    let _guard = pool::install(std::sync::Arc::clone(&pool));
+    let mut rng = SeededRng::new(7);
+    let a = Matrix::random_normal(256, 64, 0.0, 1.0, &mut rng);
+    let b = Matrix::random_normal(64, 64, 0.0, 1.0, &mut rng);
+    let _ = a.matmul(&b);
+    assert!(
+        pool.stats().parallel_dispatches >= 1,
+        "expected at least one parallel dispatch, stats {:?}",
+        pool.stats()
+    );
+}

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/bns_tensor-d38c7cb206292cfa.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+/root/repo/target/debug/deps/bns_tensor-d38c7cb206292cfa.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
 
-/root/repo/target/debug/deps/libbns_tensor-d38c7cb206292cfa.rlib: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+/root/repo/target/debug/deps/libbns_tensor-d38c7cb206292cfa.rlib: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
 
-/root/repo/target/debug/deps/libbns_tensor-d38c7cb206292cfa.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+/root/repo/target/debug/deps/libbns_tensor-d38c7cb206292cfa.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
 
 crates/tensor/src/lib.rs:
 crates/tensor/src/init.rs:
 crates/tensor/src/matrix.rs:
+crates/tensor/src/pool.rs:
 crates/tensor/src/rng.rs:

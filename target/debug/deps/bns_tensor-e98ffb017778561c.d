@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/bns_tensor-e98ffb017778561c.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+/root/repo/target/debug/deps/bns_tensor-e98ffb017778561c.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
 
-/root/repo/target/debug/deps/bns_tensor-e98ffb017778561c: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+/root/repo/target/debug/deps/bns_tensor-e98ffb017778561c: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
 
 crates/tensor/src/lib.rs:
 crates/tensor/src/init.rs:
 crates/tensor/src/matrix.rs:
+crates/tensor/src/pool.rs:
 crates/tensor/src/rng.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/bns_tensor-f53454212ed21fbf.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs Cargo.toml
+/root/repo/target/debug/deps/bns_tensor-f53454212ed21fbf.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs Cargo.toml
 
-/root/repo/target/debug/deps/libbns_tensor-f53454212ed21fbf.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs Cargo.toml
+/root/repo/target/debug/deps/libbns_tensor-f53454212ed21fbf.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs Cargo.toml
 
 crates/tensor/src/lib.rs:
 crates/tensor/src/init.rs:
 crates/tensor/src/matrix.rs:
+crates/tensor/src/pool.rs:
 crates/tensor/src/rng.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

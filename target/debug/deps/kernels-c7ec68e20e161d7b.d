@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-c7ec68e20e161d7b.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-c7ec68e20e161d7b: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

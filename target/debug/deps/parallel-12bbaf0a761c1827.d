@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel-12bbaf0a761c1827.d: crates/tensor/tests/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-12bbaf0a761c1827.rmeta: crates/tensor/tests/parallel.rs Cargo.toml
+
+crates/tensor/tests/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

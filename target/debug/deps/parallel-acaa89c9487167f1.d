@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-acaa89c9487167f1.d: crates/tensor/tests/parallel.rs
+
+/root/repo/target/debug/deps/parallel-acaa89c9487167f1: crates/tensor/tests/parallel.rs
+
+crates/tensor/tests/parallel.rs:

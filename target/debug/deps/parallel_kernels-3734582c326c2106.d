@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_kernels-3734582c326c2106.d: crates/nn/tests/parallel_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_kernels-3734582c326c2106.rmeta: crates/nn/tests/parallel_kernels.rs Cargo.toml
+
+crates/nn/tests/parallel_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

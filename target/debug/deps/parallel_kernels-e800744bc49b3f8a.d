@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_kernels-e800744bc49b3f8a.d: crates/nn/tests/parallel_kernels.rs
+
+/root/repo/target/debug/deps/parallel_kernels-e800744bc49b3f8a: crates/nn/tests/parallel_kernels.rs
+
+crates/nn/tests/parallel_kernels.rs:

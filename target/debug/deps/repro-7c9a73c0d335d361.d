@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7c9a73c0d335d361.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-7c9a73c0d335d361: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_overhead-f1556c7572c54cbc.d: crates/bench/benches/telemetry_overhead.rs
+
+/root/repo/target/debug/deps/telemetry_overhead-f1556c7572c54cbc: crates/bench/benches/telemetry_overhead.rs
+
+crates/bench/benches/telemetry_overhead.rs:

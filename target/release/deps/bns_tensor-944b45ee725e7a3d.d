@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/bns_tensor-944b45ee725e7a3d.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+/root/repo/target/release/deps/bns_tensor-944b45ee725e7a3d.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
 
-/root/repo/target/release/deps/libbns_tensor-944b45ee725e7a3d.rlib: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+/root/repo/target/release/deps/libbns_tensor-944b45ee725e7a3d.rlib: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
 
-/root/repo/target/release/deps/libbns_tensor-944b45ee725e7a3d.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+/root/repo/target/release/deps/libbns_tensor-944b45ee725e7a3d.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
 
 crates/tensor/src/lib.rs:
 crates/tensor/src/init.rs:
 crates/tensor/src/matrix.rs:
+crates/tensor/src/pool.rs:
 crates/tensor/src/rng.rs:

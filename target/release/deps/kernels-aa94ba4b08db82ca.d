@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-aa94ba4b08db82ca.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-aa94ba4b08db82ca: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:
