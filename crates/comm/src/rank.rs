@@ -28,17 +28,26 @@ struct Message {
     bytes: usize,
 }
 
+/// A tagged message in flight: `(source rank, message)`.
+type Envelope = (usize, Message);
+
 /// One rank's endpoint in a simulated world of `world_size` ranks.
 ///
 /// Create a full world with [`create_world`] or spawn threads directly
 /// with [`run_ranks`]. Point-to-point messages are matched by `(source,
 /// tag)`; collectives must be invoked by **all ranks in the same order**
 /// (they synchronize internally via sequence-numbered tags).
+///
+/// Delivery uses a single shared inbox per rank (every peer holds a
+/// clone of the same sender), so [`RankComm::recv_any`] can hand back
+/// whichever peer's message lands first. Per-peer FIFO order is still
+/// guaranteed: an mpsc channel preserves the send order of each
+/// individual producer.
 pub struct RankComm {
     rank: usize,
     world: usize,
-    to_peer: Vec<Option<Sender<Message>>>,
-    from_peer: Vec<Option<Receiver<Message>>>,
+    to_peer: Vec<Option<Sender<Envelope>>>,
+    inbox: Receiver<Envelope>,
     pending: Vec<VecDeque<Message>>,
     stats: TrafficStats,
     coll_seq: u64,
@@ -57,33 +66,30 @@ impl std::fmt::Debug for RankComm {
 /// Panics if `world_size == 0`.
 pub fn create_world(world_size: usize) -> Vec<RankComm> {
     assert!(world_size > 0, "world_size must be positive");
-    // channels[i][j] carries i -> j.
-    let mut senders: Vec<Vec<Option<Sender<Message>>>> = (0..world_size)
+    // One shared inbox per rank; senders[i][j] carries i -> j and is a
+    // clone of rank j's inbox sender.
+    let mut senders: Vec<Vec<Option<Sender<Envelope>>>> = (0..world_size)
         .map(|_| (0..world_size).map(|_| None).collect())
         .collect();
-    let mut receivers: Vec<Vec<Option<Receiver<Message>>>> = (0..world_size)
-        .map(|_| (0..world_size).map(|_| None).collect())
-        .collect();
-    for i in 0..world_size {
-        for j in 0..world_size {
-            if i == j {
-                continue;
+    let mut inboxes: Vec<Receiver<Envelope>> = Vec::with_capacity(world_size);
+    for j in 0..world_size {
+        let (s, r) = channel();
+        inboxes.push(r);
+        for (i, row) in senders.iter_mut().enumerate() {
+            if i != j {
+                row[j] = Some(s.clone());
             }
-            let (s, r) = channel();
-            senders[i][j] = Some(s);
-            // Rank j's receiver slot indexed by source i.
-            receivers[j][i] = Some(r);
         }
     }
     senders
         .into_iter()
-        .zip(receivers)
+        .zip(inboxes)
         .enumerate()
-        .map(|(rank, (to_peer, from_peer))| RankComm {
+        .map(|(rank, (to_peer, inbox))| RankComm {
             rank,
             world: world_size,
             to_peer,
-            from_peer,
+            inbox,
             pending: (0..world_size).map(|_| VecDeque::new()).collect(),
             stats: TrafficStats::new(),
             coll_seq: 0,
@@ -168,7 +174,7 @@ impl RankComm {
         self.to_peer[to]
             .as_ref()
             .expect("sender missing")
-            .send(msg)
+            .send((self.rank, msg))
             .expect("peer disconnected");
     }
 
@@ -209,13 +215,58 @@ impl RankComm {
         if let Some(pos) = self.pending[from].iter().position(|m| m.tag == tag) {
             return self.pending[from].remove(pos).unwrap();
         }
-        let rx = self.from_peer[from].as_ref().expect("receiver missing");
         loop {
-            let msg = rx.recv().expect("peer disconnected");
-            if msg.tag == tag {
+            let (src, msg) = self.inbox.recv().expect("peer disconnected");
+            if src == from && msg.tag == tag {
                 return msg;
             }
-            self.pending[from].push_back(msg);
+            self.pending[src].push_back(msg);
+        }
+    }
+
+    /// Receives a message with tag `tag` from **whichever** candidate in
+    /// `from` delivers first, returning `(source, payload)`. Buffered
+    /// (pending) messages win over fresh arrivals, scanned in `from`
+    /// order; messages from other peers or with other tags are buffered
+    /// as in [`RankComm::recv`].
+    ///
+    /// Emits `comm.recv_any_ready` when a match was already buffered
+    /// (the wait was fully overlapped by compute) and
+    /// `comm.recv_any_waited` when it had to block — the ratio of the
+    /// two is the overlap hit rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is empty, contains this rank or an out-of-bounds
+    /// rank, on payload type mismatch, or if a peer disconnected.
+    pub fn recv_any<T: Wire>(&mut self, tag: u64, from: &[usize]) -> (usize, T) {
+        let (src, msg) = self.recv_any_msg(tag, from);
+        let v = *msg.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving tag {tag} from {src}",
+                self.rank
+            )
+        });
+        (src, v)
+    }
+
+    fn recv_any_msg(&mut self, tag: u64, from: &[usize]) -> (usize, Message) {
+        assert!(!from.is_empty(), "recv_any needs at least one candidate");
+        for &src in from {
+            assert!(src < self.world, "recv from rank {src} out of bounds");
+            assert_ne!(src, self.rank, "self-receive is not allowed");
+            if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
+                bns_telemetry::counter_add("comm.recv_any_ready", 1);
+                return (src, self.pending[src].remove(pos).unwrap());
+            }
+        }
+        bns_telemetry::counter_add("comm.recv_any_waited", 1);
+        loop {
+            let (src, msg) = self.inbox.recv().expect("peer disconnected");
+            if msg.tag == tag && from.contains(&src) {
+                return (src, msg);
+            }
+            self.pending[src].push_back(msg);
         }
     }
 
@@ -408,6 +459,105 @@ mod tests {
             }
         });
         assert_eq!(out[1], 56.0);
+    }
+
+    #[test]
+    fn recv_any_returns_first_arrival() {
+        // Rank 2 sends immediately; rank 1 only sends after rank 0's
+        // go-signal, so rank 0's first recv_any can only ever see rank 2.
+        let out = run_ranks(3, |mut c| match c.rank() {
+            0 => {
+                let (first, a): (usize, Vec<u32>) = c.recv_any(7, &[1, 2]);
+                c.send(1, 9, vec![0u8], TrafficClass::Control); // go
+                let (second, b): (usize, Vec<u32>) = c.recv_any(7, &[1, 2]);
+                vec![first as u32, a[0], second as u32, b[0]]
+            }
+            1 => {
+                let _: Vec<u8> = c.recv(0, 9);
+                c.send(0, 7, vec![100u32], TrafficClass::Control);
+                vec![]
+            }
+            _ => {
+                c.send(0, 7, vec![200u32], TrafficClass::Control);
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![2, 200, 1, 100]);
+    }
+
+    #[test]
+    fn recv_any_buffers_unrelated_messages() {
+        let out = run_ranks(3, |mut c| match c.rank() {
+            0 => {
+                // Wait until everything is in flight before receiving.
+                let _: Vec<u8> = c.recv(1, 99);
+                let (src, v): (usize, Vec<u32>) = c.recv_any(7, &[2]);
+                assert_eq!((src, v[0]), (2, 5));
+                // The candidate's *other*-tag message and the non-candidate
+                // message must both have been buffered, not dropped.
+                let other: Vec<u32> = c.recv(2, 8);
+                let non_candidate: Vec<u32> = c.recv(1, 7);
+                other[0] * 10 + non_candidate[0]
+            }
+            1 => {
+                c.send(0, 7, vec![3u32], TrafficClass::Control);
+                c.send(0, 99, vec![0u8], TrafficClass::Control);
+                0
+            }
+            _ => {
+                c.send(0, 8, vec![4u32], TrafficClass::Control);
+                c.send(0, 7, vec![5u32], TrafficClass::Control);
+                0
+            }
+        });
+        assert_eq!(out[0], 43);
+    }
+
+    #[test]
+    fn recv_any_prefers_pending_in_candidate_order() {
+        let out = run_ranks(3, |mut c| match c.rank() {
+            0 => {
+                // Make sure both peer messages are buffered first.
+                let _: Vec<u8> = c.recv(1, 99);
+                let _: Vec<u8> = c.recv(2, 99);
+                let warm: Vec<u32> = c.recv(1, 7);
+                assert_eq!(warm[0], 1);
+                c.send(1, 7, vec![warm[0]], TrafficClass::Control);
+                // Both rank-1 and rank-2 tag-8 messages are now pending;
+                // candidate order [2, 1] must pick rank 2 first.
+                let (first, _): (usize, Vec<u32>) = c.recv_any(8, &[2, 1]);
+                let (second, _): (usize, Vec<u32>) = c.recv_any(8, &[2, 1]);
+                (first * 10 + second) as u32
+            }
+            1 => {
+                c.send(0, 7, vec![1u32], TrafficClass::Control);
+                c.send(0, 8, vec![11u32], TrafficClass::Control);
+                c.send(0, 99, vec![0u8], TrafficClass::Control);
+                let _: Vec<u32> = c.recv(0, 7);
+                0
+            }
+            _ => {
+                c.send(0, 8, vec![22u32], TrafficClass::Control);
+                c.send(0, 99, vec![0u8], TrafficClass::Control);
+                0
+            }
+        });
+        assert_eq!(out[0], 21);
+    }
+
+    #[test]
+    fn recv_any_traffic_accounting_unchanged() {
+        let out = run_ranks(2, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![0f32; 64], TrafficClass::Boundary);
+            } else {
+                let (_, v): (usize, Vec<f32>) = c.recv_any(1, &[0]);
+                assert_eq!(v.len(), 64);
+            }
+            c.stats().clone()
+        });
+        assert_eq!(out[0].bytes(TrafficClass::Boundary), 256);
+        assert_eq!(out[1].total_bytes(), 0);
     }
 
     #[test]

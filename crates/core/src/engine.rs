@@ -12,16 +12,20 @@
 //! model, and a FLOP estimate feeding the α–β cost model for
 //! hardware-independent throughput comparisons.
 
+use crate::exchange::{
+    exchange_features_serial, exchange_gradients_overlapped, exchange_selection,
+    recv_boundary_blocks, send_boundary_rows, EpochExchange, ExchangeArena,
+};
 use crate::memory::epoch_activation_bytes;
-use crate::plan::{LocalPartition, PartitionPlan};
+use crate::plan::PartitionPlan;
 use crate::sampling::{build_epoch_topology, BoundarySampling, EpochTopology};
 use bns_comm::{run_ranks, CostModel, RankComm, TrafficClass, TrafficStats};
 use bns_data::{Dataset, Labels};
 use bns_nn::loss::{bce_with_logits, softmax_cross_entropy};
 use bns_nn::metrics::{accuracy_counts, multilabel_counts, F1Counts};
 use bns_nn::{
-    flatten, unflatten_into, Activation, Adam, GatCache, GatLayer, GcnCache, GcnLayer, SageCache,
-    SageLayer,
+    flatten, unflatten_into, Activation, Adam, GatCache, GatLayer, GcnInnerPartial, GcnLayer,
+    GcnSegCache, SageInnerPartial, SageLayer, SageSegCache,
 };
 use bns_partition::Partitioning;
 use bns_telemetry::Timed;
@@ -403,60 +407,21 @@ enum AnyLayer {
     Gcn(GcnLayer),
 }
 
-enum AnyCache {
-    Sage(SageCache),
-    Gat(GatCache),
-    Gcn(GcnCache),
-}
-
 impl AnyLayer {
-    #[allow(clippy::too_many_arguments)]
-    fn forward(
+    /// Fused inference forward (eval path — no cache retained).
+    fn forward_eval(
         &self,
         g: &bns_graph::CsrGraph,
         h: &Matrix,
         n_out: usize,
         scale: &[f32],
         gcn_scale: &[f32],
-        train: bool,
         rng: &mut SeededRng,
-    ) -> (Matrix, AnyCache) {
+    ) -> Matrix {
         match self {
-            AnyLayer::Sage(l) => {
-                let (o, c) = l.forward(g, h, n_out, scale, train, rng);
-                (o, AnyCache::Sage(c))
-            }
-            AnyLayer::Gat(l) => {
-                let (o, c) = l.forward(g, h, n_out, train, rng);
-                (o, AnyCache::Gat(c))
-            }
-            AnyLayer::Gcn(l) => {
-                let (o, c) = l.forward(g, h, n_out, gcn_scale, train, rng);
-                (o, AnyCache::Gcn(c))
-            }
-        }
-    }
-
-    fn backward(
-        &self,
-        g: &bns_graph::CsrGraph,
-        cache: &AnyCache,
-        d: &Matrix,
-    ) -> (Matrix, Vec<Matrix>) {
-        match (self, cache) {
-            (AnyLayer::Sage(l), AnyCache::Sage(c)) => {
-                let (dh, gr) = l.backward(g, c, d);
-                (dh, vec![gr.w_self, gr.w_neigh, gr.b])
-            }
-            (AnyLayer::Gat(l), AnyCache::Gat(c)) => {
-                let (dh, gr) = l.backward(c, d);
-                (dh, vec![gr.w, gr.a_l, gr.a_r])
-            }
-            (AnyLayer::Gcn(l), AnyCache::Gcn(c)) => {
-                let (dh, gr) = l.backward(g, c, d);
-                (dh, vec![gr.w, gr.b])
-            }
-            _ => unreachable!("cache/layer kind mismatch"),
+            AnyLayer::Sage(l) => l.forward(g, h, n_out, scale, false, rng).0,
+            AnyLayer::Gat(l) => l.forward(g, h, n_out, false, rng).0,
+            AnyLayer::Gcn(l) => l.forward(g, h, n_out, gcn_scale, false, rng).0,
         }
     }
 
@@ -465,6 +430,101 @@ impl AnyLayer {
             AnyLayer::Sage(l) => l.params_mut(),
             AnyLayer::Gat(l) => l.params_mut(),
             AnyLayer::Gcn(l) => vec![&mut l.w, &mut l.b],
+        }
+    }
+}
+
+/// Inner-edge partial state produced while boundary features are in
+/// flight (training hot path). GAT has no segmented kernel — its
+/// attention coefficients need destination *and* source rows — so it
+/// carries no partial and runs fused once the boundary block lands.
+enum TrainPartial {
+    Sage(SageInnerPartial),
+    Gcn(GcnInnerPartial),
+    Gat,
+}
+
+/// Backward cache for the segmented training path (eval keeps using the
+/// fused [`AnyCache`] path).
+enum TrainCache {
+    Sage(SageSegCache),
+    Gcn(GcnSegCache),
+    Gat(GatCache),
+}
+
+impl AnyLayer {
+    /// Phase 1 of the overlapped forward: everything that needs only
+    /// inner rows (dropout + inner-edge aggregation).
+    fn forward_inner(
+        &self,
+        g: &bns_graph::CsrGraph,
+        h_inner: &Matrix,
+        gcn_scale: &[f32],
+        rng: &mut SeededRng,
+    ) -> TrainPartial {
+        match self {
+            AnyLayer::Sage(l) => TrainPartial::Sage(l.forward_inner(g, h_inner, true, rng)),
+            AnyLayer::Gcn(l) => {
+                TrainPartial::Gcn(l.forward_inner(g, h_inner, gcn_scale, true, rng))
+            }
+            AnyLayer::Gat(_) => TrainPartial::Gat,
+        }
+    }
+
+    /// Phase 2: fold the received boundary block and finish the layer.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_boundary(
+        &self,
+        g: &bns_graph::CsrGraph,
+        partial: TrainPartial,
+        h_inner: &Matrix,
+        h_bd: &Matrix,
+        row_scale: &[f32],
+        gcn_scale: &[f32],
+        rng: &mut SeededRng,
+    ) -> (Matrix, TrainCache) {
+        match (self, partial) {
+            (AnyLayer::Sage(l), TrainPartial::Sage(p)) => {
+                let (o, c) = l.forward_boundary(g, p, h_bd, row_scale, true, rng);
+                (o, TrainCache::Sage(c))
+            }
+            (AnyLayer::Gcn(l), TrainPartial::Gcn(p)) => {
+                let (o, c) = l.forward_boundary(g, p, h_bd, gcn_scale, true, rng);
+                (o, TrainCache::Gcn(c))
+            }
+            (AnyLayer::Gat(l), TrainPartial::Gat) => {
+                let h_full = h_inner.vstack(h_bd);
+                let (o, c) = l.forward(g, &h_full, h_inner.rows(), true, rng);
+                (o, TrainCache::Gat(c))
+            }
+            _ => unreachable!("partial/layer kind mismatch"),
+        }
+    }
+
+    /// Segmented backward: returns `(dh_inner, dh_boundary, grads)`
+    /// without materializing the stacked gradient matrix.
+    fn backward_seg(
+        &self,
+        g: &bns_graph::CsrGraph,
+        cache: &TrainCache,
+        d: &Matrix,
+        n_in: usize,
+    ) -> (Matrix, Matrix, Vec<Matrix>) {
+        match (self, cache) {
+            (AnyLayer::Sage(l), TrainCache::Sage(c)) => {
+                let (di, db, gr) = l.backward_seg(g, c, d);
+                (di, db, vec![gr.w_self, gr.w_neigh, gr.b])
+            }
+            (AnyLayer::Gcn(l), TrainCache::Gcn(c)) => {
+                let (di, db, gr) = l.backward_seg(g, c, d);
+                (di, db, vec![gr.w, gr.b])
+            }
+            (AnyLayer::Gat(l), TrainCache::Gat(c)) => {
+                let (dh_full, gr) = l.backward(c, d);
+                let (di, db) = dh_full.split_rows(n_in);
+                (di, db, vec![gr.w, gr.a_l, gr.a_r])
+            }
+            _ => unreachable!("cache/layer kind mismatch"),
         }
     }
 }
@@ -530,233 +590,6 @@ fn dims_of(cfg: &TrainConfig, d_in: usize, d_out: usize) -> Vec<usize> {
     dims.extend_from_slice(&cfg.hidden);
     dims.push(d_out);
     dims
-}
-
-// ---------------------------------------------------------------------
-// Per-epoch communication plumbing
-// ---------------------------------------------------------------------
-
-/// Per-owner view of this rank's selected boundary nodes: `(owner,
-/// selected-index range, relative positions within the owner's block)`.
-fn per_owner_selection(
-    lp: &LocalPartition,
-    selected: &[usize],
-) -> Vec<(usize, std::ops::Range<usize>, Vec<u32>)> {
-    let mut out = Vec::new();
-    let mut cursor = 0usize;
-    for owner in 0..lp.owner_ranges.len() {
-        if owner == lp.rank {
-            continue;
-        }
-        let (s, e) = lp.owner_ranges[owner];
-        let start = cursor;
-        let mut rel = Vec::new();
-        while cursor < selected.len() && selected[cursor] < e {
-            debug_assert!(selected[cursor] >= s);
-            rel.push((selected[cursor] - s) as u32);
-            cursor += 1;
-        }
-        out.push((owner, start..cursor, rel));
-    }
-    out
-}
-
-/// Exchanged selection state for one epoch: what to send to and expect
-/// from each peer.
-struct EpochExchange {
-    /// For each peer j: local inner rows to send each layer.
-    rows_to_send: Vec<Vec<usize>>,
-    /// Per-owner selected ranges (into the epoch's selected list).
-    owner_sel: Vec<(usize, std::ops::Range<usize>, Vec<u32>)>,
-}
-
-fn exchange_selection(
-    comm: &mut RankComm,
-    lp: &LocalPartition,
-    selected: &[usize],
-    tag: u64,
-) -> EpochExchange {
-    let k = comm.world_size();
-    let me = comm.rank();
-    let owner_sel = per_owner_selection(lp, selected);
-    // Tell each owner which of its nodes we selected.
-    for (owner, _, rel) in &owner_sel {
-        comm.send(*owner, tag, rel.clone(), TrafficClass::Control);
-    }
-    // Learn which of our rows each peer selected.
-    let mut rows_to_send: Vec<Vec<usize>> = vec![Vec::new(); k];
-    for j in (0..k).filter(|&j| j != me) {
-        let rel: Vec<u32> = comm.recv(j, tag);
-        rows_to_send[j] = rel.iter().map(|&p| lp.send_lists[j][p as usize]).collect();
-    }
-    EpochExchange {
-        rows_to_send,
-        owner_sel,
-    }
-}
-
-/// Sends the requested feature rows to every peer and assembles the
-/// received boundary block (scaled by `feature_scale`), returning the
-/// stacked `h_full`.
-fn exchange_features(
-    comm: &mut RankComm,
-    ex: &EpochExchange,
-    h_inner: &Matrix,
-    n_selected: usize,
-    feature_scale: f32,
-    tag: u64,
-) -> Matrix {
-    let d = h_inner.cols();
-    for (j, rows) in ex.rows_to_send.iter().enumerate() {
-        if rows.is_empty() {
-            continue;
-        }
-        let block = h_inner.gather_rows(rows);
-        comm.send(j, tag, block.into_vec(), TrafficClass::Boundary);
-    }
-    let mut h_bd = Matrix::zeros(n_selected, d);
-    for (owner, range, rel) in &ex.owner_sel {
-        if rel.is_empty() {
-            continue;
-        }
-        let data: Vec<f32> = comm.recv(*owner, tag);
-        debug_assert_eq!(data.len(), rel.len() * d);
-        let rows = range.clone();
-        h_bd.as_mut_slice()[rows.start * d..rows.end * d].copy_from_slice(&data);
-    }
-    if feature_scale != 1.0 {
-        h_bd.scale(feature_scale);
-    }
-    h_inner.vstack(&h_bd)
-}
-
-/// Pipelined variant of [`exchange_features`]: sends the current rows,
-/// receives the peers' current rows into `cache`, but *returns* the
-/// previous epoch's cached boundary block (one-epoch staleness). On the
-/// first epoch (empty cache) the fresh block is used directly.
-fn exchange_features_stale(
-    comm: &mut RankComm,
-    ex: &EpochExchange,
-    h_inner: &Matrix,
-    n_selected: usize,
-    feature_scale: f32,
-    tag: u64,
-    cache: &mut Option<Matrix>,
-) -> Matrix {
-    let d = h_inner.cols();
-    for (j, rows) in ex.rows_to_send.iter().enumerate() {
-        if rows.is_empty() {
-            continue;
-        }
-        let block = h_inner.gather_rows(rows);
-        comm.send(j, tag, block.into_vec(), TrafficClass::Boundary);
-    }
-    let mut fresh = Matrix::zeros(n_selected, d);
-    for (owner, range, rel) in &ex.owner_sel {
-        if rel.is_empty() {
-            continue;
-        }
-        let data: Vec<f32> = comm.recv(*owner, tag);
-        fresh.as_mut_slice()[range.start * d..range.end * d].copy_from_slice(&data);
-    }
-    if feature_scale != 1.0 {
-        fresh.scale(feature_scale);
-    }
-    let use_bd = match cache.take() {
-        Some(prev) => {
-            *cache = Some(fresh);
-            prev
-        }
-        None => {
-            *cache = Some(fresh.clone());
-            fresh
-        }
-    };
-    h_inner.vstack(&use_bd)
-}
-
-/// Sends boundary-row gradients back to their owners (scaled by
-/// `feature_scale`, the chain rule through the `H/p` rescale) and
-/// accumulates the gradients peers send for the rows we provided.
-fn exchange_gradients(
-    comm: &mut RankComm,
-    ex: &EpochExchange,
-    d_inner: &mut Matrix,
-    d_bd: &Matrix,
-    feature_scale: f32,
-    tag: u64,
-) {
-    let d = d_inner.cols();
-    for (owner, range, rel) in &ex.owner_sel {
-        if rel.is_empty() {
-            continue;
-        }
-        let mut block: Vec<f32> = d_bd.as_slice()[range.start * d..range.end * d].to_vec();
-        if feature_scale != 1.0 {
-            for x in &mut block {
-                *x *= feature_scale;
-            }
-        }
-        comm.send(*owner, tag, block, TrafficClass::Boundary);
-    }
-    for (j, rows) in ex.rows_to_send.iter().enumerate() {
-        if rows.is_empty() {
-            continue;
-        }
-        let data: Vec<f32> = comm.recv(j, tag);
-        let block = Matrix::from_vec(rows.len(), d, data);
-        d_inner.scatter_add_rows(rows, &block);
-    }
-}
-
-/// Pipelined variant of [`exchange_gradients`]: the freshly received
-/// gradient contributions go into `cache`; the *previous* epoch's cached
-/// contributions are applied (one-epoch staleness). First epoch applies
-/// fresh.
-#[allow(clippy::too_many_arguments)]
-fn exchange_gradients_stale(
-    comm: &mut RankComm,
-    ex: &EpochExchange,
-    d_inner: &mut Matrix,
-    d_bd: &Matrix,
-    feature_scale: f32,
-    tag: u64,
-    cache: &mut Option<Vec<Matrix>>,
-) {
-    let d = d_inner.cols();
-    for (owner, range, rel) in &ex.owner_sel {
-        if rel.is_empty() {
-            continue;
-        }
-        let mut block: Vec<f32> = d_bd.as_slice()[range.start * d..range.end * d].to_vec();
-        if feature_scale != 1.0 {
-            for x in &mut block {
-                *x *= feature_scale;
-            }
-        }
-        comm.send(*owner, tag, block, TrafficClass::Boundary);
-    }
-    let mut fresh: Vec<Matrix> = Vec::new();
-    for (j, rows) in ex.rows_to_send.iter().enumerate() {
-        if rows.is_empty() {
-            continue;
-        }
-        let data: Vec<f32> = comm.recv(j, tag);
-        fresh.push(Matrix::from_vec(rows.len(), d, data));
-    }
-    let apply = match cache.take() {
-        Some(prev) => {
-            *cache = Some(fresh);
-            prev
-        }
-        None => {
-            *cache = Some(fresh.clone());
-            fresh
-        }
-    };
-    for (rows, grad) in ex.rows_to_send.iter().filter(|r| !r.is_empty()).zip(&apply) {
-        d_inner.scatter_add_rows(rows, grad);
-    }
 }
 
 // ---------------------------------------------------------------------
@@ -965,7 +798,10 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
     let mut peak_mem = 0u64;
     // PipeGCN-style staleness caches (per layer).
     let mut stale_feats: Vec<Option<Matrix>> = vec![None; num_layers];
-    let mut stale_grads: Vec<Option<Vec<Matrix>>> = vec![None; num_layers];
+    let mut stale_grads: Vec<Option<Vec<Vec<f32>>>> = vec![None; num_layers];
+    // Reusable exchange buffers: in steady state the per-layer comm
+    // path performs no heap allocation.
+    let mut arena = ExchangeArena::new();
 
     for epoch in 0..cfg.epochs {
         let tag_base = (epoch as u64) * 256;
@@ -1004,39 +840,44 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
         let mut compute_s = 0.0f64;
         let mut comm_s = 0.0f64;
         let mut flops = 0.0f64;
-        let mut caches: Vec<AnyCache> = Vec::with_capacity(num_layers);
+        let mut caches: Vec<TrainCache> = Vec::with_capacity(num_layers);
         let mut h = lp.features.clone();
         for l in 0..num_layers {
+            // Issue all boundary-feature sends (non-blocking), run the
+            // inner-edge partial work while the blocks are in flight,
+            // then drain arrivals in whatever order they land. The fold
+            // happens into fixed per-owner row ranges, so the result is
+            // bitwise identical to the serial exchange.
             let tc = Timed::with_args("exchange", &[("epoch", epoch.into()), ("layer", l.into())]);
-            let h_full = if cfg.pipeline {
-                exchange_features_stale(
-                    &mut comm,
-                    exchange,
-                    &h,
-                    n_sel,
-                    topo.feature_scale,
-                    tag_base + 1 + l as u64,
-                    &mut stale_feats[l],
-                )
-            } else {
-                exchange_features(
-                    &mut comm,
-                    exchange,
-                    &h,
-                    n_sel,
-                    topo.feature_scale,
-                    tag_base + 1 + l as u64,
-                )
-            };
+            send_boundary_rows(&mut comm, exchange, &h, tag_base + 1 + l as u64, &mut arena);
             comm_s += tc.stop();
             let tk = Timed::with_args("compute", &[("epoch", epoch.into()), ("layer", l.into())]);
-            let (h_next, cache) = layers[l].forward(
+            let partial = layers[l].forward_inner(&topo.graph, &h, &topo.gcn_scale, &mut rng);
+            compute_s += tk.stop();
+            let tc = Timed::with_args("exchange", &[("epoch", epoch.into()), ("layer", l.into())]);
+            recv_boundary_blocks(
+                &mut comm,
+                exchange,
+                n_sel,
+                h.cols(),
+                topo.feature_scale,
+                tag_base + 1 + l as u64,
+                &mut arena,
+                if cfg.pipeline {
+                    Some(&mut stale_feats[l])
+                } else {
+                    None
+                },
+            );
+            comm_s += tc.stop();
+            let tk = Timed::with_args("compute", &[("epoch", epoch.into()), ("layer", l.into())]);
+            let (h_next, cache) = layers[l].forward_boundary(
                 &topo.graph,
-                &h_full,
-                n_in,
+                partial,
+                &h,
+                arena.boundary(),
                 &topo.row_scale,
                 &topo.gcn_scale,
-                true,
                 &mut rng,
             );
             compute_s += tk.stop();
@@ -1069,33 +910,26 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
         let mut d = dlogits;
         for l in (0..num_layers).rev() {
             let tk = Timed::with_args("compute", &[("epoch", epoch.into()), ("layer", l.into())]);
-            let (dh_full, grads) = layers[l].backward(&topo.graph, &caches[l], &d);
+            let (mut d_inner, d_bd, grads) =
+                layers[l].backward_seg(&topo.graph, &caches[l], &d, n_in);
             compute_s += tk.stop();
             layer_grads.push(grads);
             let tc = Timed::with_args("exchange", &[("epoch", epoch.into()), ("layer", l.into())]);
-            let mut d_inner = dh_full.slice_rows(0, n_in);
-            if n_sel > 0 || exchange.rows_to_send.iter().any(|r| !r.is_empty()) {
-                let d_bd = dh_full.slice_rows(n_in, n_in + n_sel);
-                if cfg.pipeline {
-                    exchange_gradients_stale(
-                        &mut comm,
-                        exchange,
-                        &mut d_inner,
-                        &d_bd,
-                        topo.feature_scale,
-                        tag_base + 64 + l as u64,
-                        &mut stale_grads[l],
-                    );
-                } else {
-                    exchange_gradients(
-                        &mut comm,
-                        exchange,
-                        &mut d_inner,
-                        &d_bd,
-                        topo.feature_scale,
-                        tag_base + 64 + l as u64,
-                    );
-                }
+            if !exchange.is_trivial() {
+                exchange_gradients_overlapped(
+                    &mut comm,
+                    exchange,
+                    &mut d_inner,
+                    &d_bd,
+                    topo.feature_scale,
+                    tag_base + 64 + l as u64,
+                    &mut arena,
+                    if cfg.pipeline {
+                        Some(&mut stale_grads[l])
+                    } else {
+                        None
+                    },
+                );
             }
             comm_s += tc.stop();
             d = d_inner;
@@ -1152,18 +986,26 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
             epoch + 1 == cfg.epochs || (cfg.eval_every > 0 && (epoch + 1) % cfg.eval_every == 0);
         let (val, test) = if do_eval {
             let _eval_span = bns_telemetry::span!("eval", epoch = epoch);
-            if full_exchange.is_none() {
-                full_exchange = Some(exchange_selection(
-                    &mut comm,
-                    &lp,
-                    &full_topo.selected,
-                    tag_base + 128,
-                ));
-            }
-            let fex = full_exchange.as_ref().unwrap();
+            // When the training strategy already keeps every boundary
+            // node (a global property, so every rank takes this branch
+            // together), the epoch's selection state IS the full one —
+            // reuse it and skip the extra Control-class round-trip.
+            let fex: &EpochExchange = if cfg.sampling.selects_all() {
+                static_exchange.as_ref().expect("built in phase 1")
+            } else {
+                if full_exchange.is_none() {
+                    full_exchange = Some(exchange_selection(
+                        &mut comm,
+                        &lp,
+                        &full_topo.selected,
+                        tag_base + 128,
+                    ));
+                }
+                full_exchange.as_ref().unwrap()
+            };
             let mut h = lp.features.clone();
             for (l, layer) in layers.iter().enumerate() {
-                let h_full = exchange_features(
+                let h_full = exchange_features_serial(
                     &mut comm,
                     fex,
                     &h,
@@ -1171,16 +1013,14 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
                     1.0,
                     tag_base + 129 + l as u64,
                 );
-                let (h_next, _) = layer.forward(
+                h = layer.forward_eval(
                     &full_topo.graph,
                     &h_full,
                     n_in,
                     &full_topo.row_scale,
                     &full_topo.gcn_scale,
-                    false,
                     &mut rng,
                 );
-                h = h_next;
             }
             let score_of = |rows: &[usize]| -> (u64, u64, u64) {
                 match &lp.labels {
@@ -1222,6 +1062,7 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
         bns_telemetry::counter_add("pool.jobs", stats.jobs);
     }
     bns_telemetry::counter_add("pool.threads", pool_threads as u64);
+    arena.flush_counters();
 
     RankOutput {
         epochs: epochs_out,

@@ -1,0 +1,440 @@
+//! Per-epoch boundary communication: selection exchange, the serial
+//! reference feature/gradient exchange, and the overlap-capable,
+//! allocation-free exchange the engine's hot path uses.
+//!
+//! ## Overlap architecture
+//!
+//! The serial path ([`exchange_features_serial`]) blocks on peers in
+//! fixed owner order and materializes the halo as `vstack(h_inner,
+//! h_bd)` — a full copy of the inner activation matrix per layer. The
+//! overlapped path splits that into [`send_boundary_rows`] (issue all
+//! sends, non-blocking) and [`recv_boundary_blocks`] (drain arrivals
+//! with [`RankComm::recv_any`]), so the engine can run the inner-edge
+//! partial aggregation between the two while boundary blocks are in
+//! flight.
+//!
+//! ## Determinism
+//!
+//! Blocks are *received* in arrival order but *written* to fixed,
+//! disjoint row ranges of the boundary block (and gradient blocks are
+//! *applied* in fixed ascending peer order), so the result is bitwise
+//! identical to the serial path no matter which peer delivers first.
+//! The proptests in `tests/overlap_determinism.rs` enforce this.
+//!
+//! ## Allocation-freedom
+//!
+//! [`ExchangeArena`] recycles every `Vec<f32>` that arrives as a
+//! message payload into a free list used for subsequent gather/send
+//! staging, and reuses the boundary-block matrix capacity across layers
+//! and epochs. In steady state the per-layer comm path performs no
+//! heap allocation; `comm.arena.*` counters report bytes reused vs
+//! freshly allocated.
+
+use crate::plan::LocalPartition;
+use bns_comm::{RankComm, TrafficClass};
+use bns_tensor::Matrix;
+use std::ops::Range;
+
+/// Exchanged selection state for one epoch: what to send to and expect
+/// from each peer.
+#[derive(Debug, Clone)]
+pub struct EpochExchange {
+    /// For each peer `j`: local inner rows to send each layer.
+    pub rows_to_send: Vec<Vec<usize>>,
+    /// Per-owner ranges into this rank's selected-boundary list (the
+    /// row ranges of the boundary block each owner fills).
+    pub owner_sel: Vec<(usize, Range<usize>)>,
+}
+
+impl EpochExchange {
+    /// True when this rank neither sends nor receives boundary rows.
+    pub fn is_trivial(&self) -> bool {
+        self.owner_sel.iter().all(|(_, r)| r.is_empty())
+            && self.rows_to_send.iter().all(|r| r.is_empty())
+    }
+}
+
+/// Per-owner view of this rank's selected boundary nodes: `(owner,
+/// selected-index range, relative positions within the owner's block)`.
+fn per_owner_selection(
+    lp: &LocalPartition,
+    selected: &[usize],
+) -> Vec<(usize, Range<usize>, Vec<u32>)> {
+    let mut out = Vec::new();
+    let mut cursor = 0usize;
+    for owner in 0..lp.owner_ranges.len() {
+        if owner == lp.rank {
+            continue;
+        }
+        let (s, e) = lp.owner_ranges[owner];
+        let start = cursor;
+        let mut rel = Vec::new();
+        while cursor < selected.len() && selected[cursor] < e {
+            debug_assert!(selected[cursor] >= s);
+            rel.push((selected[cursor] - s) as u32);
+            cursor += 1;
+        }
+        out.push((owner, start..cursor, rel));
+    }
+    out
+}
+
+/// Tells every owner which of its nodes this rank selected and learns
+/// which local rows each peer wants (Algorithm 1's selection
+/// broadcast). The relative-position vectors are moved into the sends —
+/// no clone on the send path.
+pub fn exchange_selection(
+    comm: &mut RankComm,
+    lp: &LocalPartition,
+    selected: &[usize],
+    tag: u64,
+) -> EpochExchange {
+    let k = comm.world_size();
+    let me = comm.rank();
+    let mut owner_sel = Vec::new();
+    for (owner, range, rel) in per_owner_selection(lp, selected) {
+        comm.send(owner, tag, rel, TrafficClass::Control);
+        owner_sel.push((owner, range));
+    }
+    let mut rows_to_send: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for j in (0..k).filter(|&j| j != me) {
+        let rel: Vec<u32> = comm.recv(j, tag);
+        rows_to_send[j] = rel.iter().map(|&p| lp.send_lists[j][p as usize]).collect();
+    }
+    EpochExchange {
+        rows_to_send,
+        owner_sel,
+    }
+}
+
+/// Reusable per-rank buffers for the overlapped exchange, plus overlap
+/// telemetry. One arena lives for the whole training run; buffers are
+/// recycled across layers and epochs.
+#[derive(Debug, Default)]
+pub struct ExchangeArena {
+    /// The received (scaled) boundary block for the current layer.
+    h_bd: Matrix,
+    /// Recycled payload buffers, reused for gather/send staging.
+    free: Vec<Vec<f32>>,
+    /// Reusable per-peer gradient staging slots.
+    grad_slots: Vec<Vec<f32>>,
+    /// Bytes served from the free list.
+    pub bytes_reused: u64,
+    /// Bytes that needed a fresh allocation.
+    pub bytes_alloc: u64,
+    /// Boundary/gradient blocks received in total.
+    pub blocks: u64,
+    /// Blocks serviced ahead of a lower-ranked owner still in flight —
+    /// receives the serial path would have head-of-line blocked on.
+    pub out_of_order_blocks: u64,
+}
+
+/// Bound on recycled buffers kept around (layer dims recur every epoch,
+/// so a small pool reaches steady state quickly).
+const ARENA_MAX_FREE: usize = 32;
+
+impl ExchangeArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The boundary block assembled by the latest
+    /// [`recv_boundary_blocks`] call.
+    pub fn boundary(&self) -> &Matrix {
+        &self.h_bd
+    }
+
+    /// A zeroed buffer of exactly `len` floats, served from the free
+    /// list when a large-enough recycled buffer exists.
+    fn take_buf(&mut self, len: usize) -> Vec<f32> {
+        if let Some(pos) = self.free.iter().position(|b| b.capacity() >= len) {
+            let mut buf = self.free.swap_remove(pos);
+            self.bytes_reused += 4 * len as u64;
+            buf.clear();
+            buf.resize(len, 0.0);
+            return buf;
+        }
+        self.bytes_alloc += 4 * len as u64;
+        vec![0.0; len]
+    }
+
+    /// Returns a payload buffer to the free list.
+    fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 && self.free.len() < ARENA_MAX_FREE {
+            self.free.push(buf);
+        }
+    }
+
+    /// Resets the boundary block to a zeroed `rows x cols` matrix,
+    /// reusing its existing capacity.
+    fn reset_h_bd(&mut self, rows: usize, cols: usize) {
+        let mut data = std::mem::take(&mut self.h_bd).into_vec();
+        data.clear();
+        data.resize(rows * cols, 0.0);
+        self.h_bd = Matrix::from_vec(rows, cols, data);
+    }
+
+    /// Flushes the arena's counters to telemetry (call once per rank at
+    /// the end of a run).
+    pub fn flush_counters(&self) {
+        bns_telemetry::counter_add("comm.arena.bytes_reused", self.bytes_reused);
+        bns_telemetry::counter_add("comm.arena.bytes_alloc", self.bytes_alloc);
+        bns_telemetry::counter_add("comm.overlap.blocks", self.blocks);
+        bns_telemetry::counter_add("comm.overlap.out_of_order_blocks", self.out_of_order_blocks);
+    }
+}
+
+/// Serial reference exchange (retained for eval and as the bitwise
+/// ground truth the overlapped path is tested against): sends the
+/// requested feature rows to every peer, receives blocks in fixed owner
+/// order, and returns the stacked `vstack(h_inner, h_bd)`.
+pub fn exchange_features_serial(
+    comm: &mut RankComm,
+    ex: &EpochExchange,
+    h_inner: &Matrix,
+    n_selected: usize,
+    feature_scale: f32,
+    tag: u64,
+) -> Matrix {
+    let d = h_inner.cols();
+    for (j, rows) in ex.rows_to_send.iter().enumerate() {
+        if rows.is_empty() {
+            continue;
+        }
+        let block = h_inner.gather_rows(rows);
+        comm.send(j, tag, block.into_vec(), TrafficClass::Boundary);
+    }
+    let mut h_bd = Matrix::zeros(n_selected, d);
+    for (owner, range) in &ex.owner_sel {
+        if range.is_empty() {
+            continue;
+        }
+        let data: Vec<f32> = comm.recv(*owner, tag);
+        debug_assert_eq!(data.len(), range.len() * d);
+        h_bd.as_mut_slice()[range.start * d..range.end * d].copy_from_slice(&data);
+    }
+    if feature_scale != 1.0 {
+        h_bd.scale(feature_scale);
+    }
+    h_inner.vstack(&h_bd)
+}
+
+/// Serial reference gradient exchange: sends boundary-row gradients
+/// back to their owners (scaled by `feature_scale`, the chain rule
+/// through the `H/p` rescale) and accumulates peers' contributions in
+/// fixed ascending peer order.
+pub fn exchange_gradients_serial(
+    comm: &mut RankComm,
+    ex: &EpochExchange,
+    d_inner: &mut Matrix,
+    d_bd: &Matrix,
+    feature_scale: f32,
+    tag: u64,
+) {
+    let d = d_inner.cols();
+    for (owner, range) in &ex.owner_sel {
+        if range.is_empty() {
+            continue;
+        }
+        let mut block: Vec<f32> = d_bd.as_slice()[range.start * d..range.end * d].to_vec();
+        if feature_scale != 1.0 {
+            for x in &mut block {
+                *x *= feature_scale;
+            }
+        }
+        comm.send(*owner, tag, block, TrafficClass::Boundary);
+    }
+    for (j, rows) in ex.rows_to_send.iter().enumerate() {
+        if rows.is_empty() {
+            continue;
+        }
+        let data: Vec<f32> = comm.recv(j, tag);
+        let block = Matrix::from_vec(rows.len(), d, data);
+        d_inner.scatter_add_rows(rows, &block);
+    }
+}
+
+/// Overlapped-path phase 1: stages the requested feature rows into
+/// arena buffers and issues every send. Returns immediately (sends are
+/// non-blocking); call [`recv_boundary_blocks`] after running whatever
+/// compute should overlap the transfer.
+pub fn send_boundary_rows(
+    comm: &mut RankComm,
+    ex: &EpochExchange,
+    h_inner: &Matrix,
+    tag: u64,
+    arena: &mut ExchangeArena,
+) {
+    let d = h_inner.cols();
+    for (j, rows) in ex.rows_to_send.iter().enumerate() {
+        if rows.is_empty() {
+            continue;
+        }
+        let mut buf = arena.take_buf(rows.len() * d);
+        for (chunk, &r) in buf.chunks_exact_mut(d).zip(rows) {
+            chunk.copy_from_slice(h_inner.row(r));
+        }
+        comm.send(j, tag, buf, TrafficClass::Boundary);
+    }
+}
+
+/// Overlapped-path phase 2: drains boundary blocks in **arrival**
+/// order ([`RankComm::recv_any`]) into their fixed disjoint row ranges
+/// of the arena's boundary block, applying `feature_scale` during the
+/// copy — bitwise identical to receive-in-owner-order + whole-matrix
+/// scale, with no head-of-line blocking. Received payload buffers are
+/// recycled into the arena.
+///
+/// With `stale` (PipeGCN pipelining), the fresh block is swapped into
+/// the cache and the *previous* epoch's block becomes current (first
+/// epoch: fresh is used directly and cached). Access the result via
+/// [`ExchangeArena::boundary`].
+#[allow(clippy::too_many_arguments)]
+pub fn recv_boundary_blocks(
+    comm: &mut RankComm,
+    ex: &EpochExchange,
+    n_selected: usize,
+    d: usize,
+    feature_scale: f32,
+    tag: u64,
+    arena: &mut ExchangeArena,
+    stale: Option<&mut Option<Matrix>>,
+) {
+    arena.reset_h_bd(n_selected, d);
+    let mut remaining: Vec<usize> = ex
+        .owner_sel
+        .iter()
+        .filter(|(_, r)| !r.is_empty())
+        .map(|(o, _)| *o)
+        .collect();
+    while !remaining.is_empty() {
+        let (src, data): (usize, Vec<f32>) = comm.recv_any(tag, &remaining);
+        arena.blocks += 1;
+        if src != remaining[0] {
+            arena.out_of_order_blocks += 1;
+        }
+        remaining.retain(|&o| o != src);
+        let range = &ex
+            .owner_sel
+            .iter()
+            .find(|(o, _)| *o == src)
+            .expect("unexpected source")
+            .1;
+        debug_assert_eq!(data.len(), range.len() * d);
+        let dst = &mut arena.h_bd.as_mut_slice()[range.start * d..range.end * d];
+        if feature_scale != 1.0 {
+            for (a, b) in dst.iter_mut().zip(&data) {
+                *a = b * feature_scale;
+            }
+        } else {
+            dst.copy_from_slice(&data);
+        }
+        arena.recycle(data);
+    }
+    if let Some(cache) = stale {
+        match cache.take() {
+            Some(mut prev) => {
+                std::mem::swap(&mut arena.h_bd, &mut prev);
+                *cache = Some(prev);
+            }
+            None => {
+                *cache = Some(arena.h_bd.clone());
+            }
+        }
+    }
+}
+
+/// Overlapped gradient exchange: issues all sends (scaled into arena
+/// buffers), receives peers' contributions in arrival order into
+/// per-peer staging slots, then applies them to `d_inner` in **fixed
+/// ascending peer order** — the scatter-add targets of different peers
+/// can overlap, so arrival-order application would not be
+/// deterministic.
+///
+/// With `stale` (PipeGCN), fresh contributions are cached per peer and
+/// the previous epoch's are applied instead (first epoch applies
+/// fresh).
+#[allow(clippy::too_many_arguments)]
+pub fn exchange_gradients_overlapped(
+    comm: &mut RankComm,
+    ex: &EpochExchange,
+    d_inner: &mut Matrix,
+    d_bd: &Matrix,
+    feature_scale: f32,
+    tag: u64,
+    arena: &mut ExchangeArena,
+    stale: Option<&mut Option<Vec<Vec<f32>>>>,
+) {
+    let d = d_inner.cols();
+    for (owner, range) in &ex.owner_sel {
+        if range.is_empty() {
+            continue;
+        }
+        let mut buf = arena.take_buf(range.len() * d);
+        let src = &d_bd.as_slice()[range.start * d..range.end * d];
+        if feature_scale != 1.0 {
+            for (a, b) in buf.iter_mut().zip(src) {
+                *a = b * feature_scale;
+            }
+        } else {
+            buf.copy_from_slice(src);
+        }
+        comm.send(*owner, tag, buf, TrafficClass::Boundary);
+    }
+    let mut slots = std::mem::take(&mut arena.grad_slots);
+    slots.resize_with(comm.world_size(), Vec::new);
+    let mut remaining: Vec<usize> = ex
+        .rows_to_send
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.is_empty())
+        .map(|(j, _)| j)
+        .collect();
+    while !remaining.is_empty() {
+        let (src, data): (usize, Vec<f32>) = comm.recv_any(tag, &remaining);
+        arena.blocks += 1;
+        if src != remaining[0] {
+            arena.out_of_order_blocks += 1;
+        }
+        remaining.retain(|&j| j != src);
+        debug_assert_eq!(data.len(), ex.rows_to_send[src].len() * d);
+        slots[src] = data;
+    }
+    match stale {
+        None => {
+            for (j, rows) in ex.rows_to_send.iter().enumerate() {
+                if rows.is_empty() {
+                    continue;
+                }
+                let data = std::mem::take(&mut slots[j]);
+                d_inner.scatter_add_rows_slice(rows, &data);
+                arena.recycle(data);
+            }
+            arena.grad_slots = slots;
+        }
+        Some(cache) => match cache.take() {
+            Some(prev) => {
+                for (j, rows) in ex.rows_to_send.iter().enumerate() {
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    d_inner.scatter_add_rows_slice(rows, &prev[j]);
+                }
+                for buf in prev {
+                    arena.recycle(buf);
+                }
+                *cache = Some(slots);
+            }
+            None => {
+                for (j, rows) in ex.rows_to_send.iter().enumerate() {
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    d_inner.scatter_add_rows_slice(rows, &slots[j]);
+                }
+                *cache = Some(slots);
+            }
+        },
+    }
+}

@@ -63,6 +63,7 @@
 
 pub mod costsim;
 pub mod engine;
+pub mod exchange;
 pub mod fullgraph;
 pub mod memory;
 pub mod minibatch;

@@ -77,6 +77,21 @@ impl BoundarySampling {
         }
     }
 
+    /// True when the strategy selects **every** boundary node on every
+    /// rank (`p = 1` / `keep = 1`). This is a global property — all
+    /// ranks agree — so it is safe to use for collective-avoiding
+    /// decisions like reusing the full-selection exchange for eval
+    /// (a per-rank test such as comparing selected sets could diverge
+    /// across ranks and deadlock).
+    pub fn selects_all(&self) -> bool {
+        match *self {
+            BoundarySampling::Bns { p } | BoundarySampling::BnsUnscaled { p } => p >= 1.0,
+            BoundarySampling::BoundaryEdge { keep } | BoundarySampling::DropEdge { keep } => {
+                keep >= 1.0
+            }
+        }
+    }
+
     /// Short label for reports.
     pub fn label(&self) -> String {
         match *self {

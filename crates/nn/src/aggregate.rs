@@ -177,6 +177,182 @@ pub fn scaled_sum_aggregate_backward(
     })
 }
 
+/// Inner-edge partial of [`scaled_sum_aggregate`] on a segmented
+/// `(h_inner, h_bd)` view: `z_v = Σ_{u ∈ N_g(v), u < n_inner} h_u` for
+/// `v < n_out`, **unscaled** (the scale is applied by
+/// [`scaled_sum_fold_boundary`] after the boundary fold). `n_inner =
+/// h_inner.rows()`.
+///
+/// Because CSR neighbor lists are sorted ascending (an invariant
+/// `CsrGraph` construction enforces), inner neighbors form a prefix of
+/// every row, and "inner partial then boundary fold" visits neighbors
+/// in exactly the order the fused kernel does — the f32 sum per output
+/// element is bitwise identical. This is what lets the engine run this
+/// kernel while boundary rows are still in flight.
+///
+/// # Panics
+///
+/// Panics if `n_out > g.num_nodes()` or `n_out > h_inner.rows()`.
+pub fn scaled_sum_aggregate_inner(g: &CsrGraph, h_inner: &Matrix, n_out: usize) -> Matrix {
+    assert!(n_out <= g.num_nodes(), "n_out exceeds graph size");
+    assert!(n_out <= h_inner.rows(), "n_out exceeds inner rows");
+    let n_inner = h_inner.rows();
+    let d = h_inner.cols();
+    let mut z = Matrix::zeros(n_out, d);
+    let zptr = SendMutPtr(z.as_mut_slice().as_mut_ptr());
+    pool::parallel_row_blocks(n_out, AGG_MIN_ROWS, &|v0, v1| {
+        // SAFETY: this block owns the disjoint target rows [v0, v1).
+        let zblock =
+            unsafe { std::slice::from_raw_parts_mut(zptr.get().add(v0 * d), (v1 - v0) * d) };
+        for (zr, v) in zblock.chunks_exact_mut(d).zip(v0..v1) {
+            let nb = g.neighbors(v);
+            let end = nb.partition_point(|&u| (u as usize) < n_inner);
+            for &u in &nb[..end] {
+                let hu = h_inner.row(u as usize);
+                for (a, b) in zr.iter_mut().zip(hu) {
+                    *a += b;
+                }
+            }
+        }
+    });
+    z
+}
+
+/// Completes [`scaled_sum_aggregate_inner`]: folds the boundary-edge
+/// contributions (`h_bd` row `u - n_inner` for neighbors `u >=
+/// n_inner`) into `z`, then applies `row_scale`. After this call `z`
+/// equals `scaled_sum_aggregate(g, vstack(h_inner, h_bd), n_out,
+/// row_scale)` bit for bit — without ever materializing the stacked
+/// matrix.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or if the graph references boundary rows
+/// beyond `n_inner + h_bd.rows()`.
+pub fn scaled_sum_fold_boundary(
+    g: &CsrGraph,
+    z: &mut Matrix,
+    h_bd: &Matrix,
+    n_inner: usize,
+    row_scale: &[f32],
+) {
+    let n_out = z.rows();
+    assert!(n_out <= g.num_nodes(), "z has more rows than graph nodes");
+    assert_eq!(row_scale.len(), n_out, "row_scale length mismatch");
+    assert_eq!(z.cols(), h_bd.cols(), "column mismatch");
+    assert!(
+        n_inner + h_bd.rows() >= g.num_nodes(),
+        "boundary block too small"
+    );
+    let d = z.cols();
+    let zptr = SendMutPtr(z.as_mut_slice().as_mut_ptr());
+    pool::parallel_row_blocks(n_out, AGG_MIN_ROWS, &|v0, v1| {
+        // SAFETY: this block owns the disjoint target rows [v0, v1).
+        let zblock =
+            unsafe { std::slice::from_raw_parts_mut(zptr.get().add(v0 * d), (v1 - v0) * d) };
+        for (zr, v) in zblock.chunks_exact_mut(d).zip(v0..v1) {
+            let nb = g.neighbors(v);
+            let start = nb.partition_point(|&u| (u as usize) < n_inner);
+            for &u in &nb[start..] {
+                let hu = h_bd.row(u as usize - n_inner);
+                for (a, b) in zr.iter_mut().zip(hu) {
+                    *a += b;
+                }
+            }
+            let s = row_scale[v];
+            for a in zr.iter_mut() {
+                *a *= s;
+            }
+        }
+    });
+}
+
+/// Inner-edge partial of [`gcn_aggregate`] on a segmented view:
+/// `z_v = Σ_{u ∈ N_g(v), u < n_inner} s_u · h_u` for `v < n_out`,
+/// without the self-loop term (applied by [`gcn_fold_boundary`]). Same
+/// sorted-CSR bitwise-identity argument as
+/// [`scaled_sum_aggregate_inner`].
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn gcn_aggregate_inner(g: &CsrGraph, h_inner: &Matrix, n_out: usize, s: &[f32]) -> Matrix {
+    assert!(n_out <= g.num_nodes(), "n_out exceeds graph size");
+    assert!(n_out <= h_inner.rows(), "n_out exceeds inner rows");
+    let n_inner = h_inner.rows();
+    let d = h_inner.cols();
+    let mut z = Matrix::zeros(n_out, d);
+    let zptr = SendMutPtr(z.as_mut_slice().as_mut_ptr());
+    pool::parallel_row_blocks(n_out, AGG_MIN_ROWS, &|v0, v1| {
+        // SAFETY: this block owns the disjoint target rows [v0, v1).
+        let zblock =
+            unsafe { std::slice::from_raw_parts_mut(zptr.get().add(v0 * d), (v1 - v0) * d) };
+        for (zr, v) in zblock.chunks_exact_mut(d).zip(v0..v1) {
+            let nb = g.neighbors(v);
+            let end = nb.partition_point(|&u| (u as usize) < n_inner);
+            for &u in &nb[..end] {
+                let su = s[u as usize];
+                let hu = h_inner.row(u as usize);
+                for (a, b) in zr.iter_mut().zip(hu) {
+                    *a += su * b;
+                }
+            }
+        }
+    });
+    z
+}
+
+/// Completes [`gcn_aggregate_inner`]: folds boundary neighbors, then
+/// the self-loop finalization `z_v = s_v · z_v + s_v² · h_v` (with
+/// `h_v` taken from `h_inner` — targets are always inner rows). After
+/// this call `z` equals `gcn_aggregate(g, vstack(h_inner, h_bd), n_out,
+/// s)` bit for bit.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn gcn_fold_boundary(
+    g: &CsrGraph,
+    z: &mut Matrix,
+    h_inner: &Matrix,
+    h_bd: &Matrix,
+    n_inner: usize,
+    s: &[f32],
+) {
+    let n_out = z.rows();
+    assert!(n_out <= g.num_nodes(), "z has more rows than graph nodes");
+    assert!(n_out <= h_inner.rows(), "n_out exceeds inner rows");
+    assert!(s.len() >= g.num_nodes(), "scale vector too small");
+    assert_eq!(z.cols(), h_bd.cols(), "column mismatch");
+    assert!(
+        n_inner + h_bd.rows() >= g.num_nodes(),
+        "boundary block too small"
+    );
+    let d = z.cols();
+    let zptr = SendMutPtr(z.as_mut_slice().as_mut_ptr());
+    pool::parallel_row_blocks(n_out, AGG_MIN_ROWS, &|v0, v1| {
+        // SAFETY: this block owns the disjoint target rows [v0, v1).
+        let zblock =
+            unsafe { std::slice::from_raw_parts_mut(zptr.get().add(v0 * d), (v1 - v0) * d) };
+        for (zr, v) in zblock.chunks_exact_mut(d).zip(v0..v1) {
+            let nb = g.neighbors(v);
+            let start = nb.partition_point(|&u| (u as usize) < n_inner);
+            for &u in &nb[start..] {
+                let su = s[u as usize];
+                let hu = h_bd.row(u as usize - n_inner);
+                for (a, b) in zr.iter_mut().zip(hu) {
+                    *a += su * b;
+                }
+            }
+            let sv = s[v];
+            let hv = h_inner.row(v);
+            for (a, b) in zr.iter_mut().zip(hv) {
+                *a = sv * *a + sv * sv * b;
+            }
+        }
+    });
+}
+
 /// Symmetric-normalized GCN aggregation with self-loops (Kipf & Welling):
 /// `z_v = s_v² · h_v + s_v · Σ_{u ∈ N(v)} s_u · h_u` where callers pass
 /// `s_v = 1/sqrt(deg_full(v) + 1)`. `s` must cover every local row.
@@ -304,6 +480,70 @@ mod tests {
             (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
             "{lhs} vs {rhs}"
         );
+    }
+
+    /// Builds a local-style graph where nodes `>= n_inner` act as
+    /// boundary rows (only inner-incident edges, as the engine's epoch
+    /// topology guarantees).
+    fn segmented_fixture(seed: u64) -> (bns_graph::CsrGraph, usize, Matrix, Matrix) {
+        let mut rng = SeededRng::new(seed);
+        let n_inner = 40;
+        let n_bd = 12;
+        let mut b = bns_graph::GraphBuilder::new(n_inner + n_bd);
+        for _ in 0..180 {
+            let u = rng.uniform_range(0.0, n_inner as f32) as usize;
+            let v = rng.uniform_range(0.0, (n_inner + n_bd) as f32) as usize;
+            if u != v && v < n_inner + n_bd {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let h_inner = Matrix::random_normal(n_inner, 5, 0.0, 1.0, &mut rng);
+        let h_bd = Matrix::random_normal(n_bd, 5, 0.0, 1.0, &mut rng);
+        (g, n_inner, h_inner, h_bd)
+    }
+
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.as_slice().iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn segmented_mean_matches_fused_bitwise() {
+        for seed in [1u64, 5, 9] {
+            let (g, n_inner, h_inner, h_bd) = segmented_fixture(seed);
+            let mut rng = SeededRng::new(seed + 100);
+            let scale: Vec<f32> = (0..n_inner).map(|_| rng.uniform_range(0.1, 2.0)).collect();
+            let fused = scaled_sum_aggregate(&g, &h_inner.vstack(&h_bd), n_inner, &scale);
+            let mut z = scaled_sum_aggregate_inner(&g, &h_inner, n_inner);
+            scaled_sum_fold_boundary(&g, &mut z, &h_bd, n_inner, &scale);
+            assert_eq!(bits(&fused), bits(&z), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn segmented_gcn_matches_fused_bitwise() {
+        for seed in [2u64, 6, 10] {
+            let (g, n_inner, h_inner, h_bd) = segmented_fixture(seed);
+            let s: Vec<f32> = (0..g.num_nodes())
+                .map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt())
+                .collect();
+            let fused = gcn_aggregate(&g, &h_inner.vstack(&h_bd), n_inner, &s);
+            let mut z = gcn_aggregate_inner(&g, &h_inner, n_inner, &s);
+            gcn_fold_boundary(&g, &mut z, &h_inner, &h_bd, n_inner, &s);
+            assert_eq!(bits(&fused), bits(&z), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn segmented_with_empty_boundary() {
+        let g = ring(6);
+        let h = Matrix::from_fn(6, 2, |r, c| (r + c) as f32);
+        let empty = Matrix::zeros(0, 2);
+        let scale = vec![0.5; 6];
+        let fused = scaled_sum_aggregate(&g, &h, 6, &scale);
+        let mut z = scaled_sum_aggregate_inner(&g, &h, 6);
+        scaled_sum_fold_boundary(&g, &mut z, &empty, 6, &scale);
+        assert_eq!(bits(&fused), bits(&z));
     }
 
     #[test]

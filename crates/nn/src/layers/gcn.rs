@@ -3,7 +3,9 @@
 //! exactly this propagation `Z = P H W`).
 
 use crate::activation::Activation;
-use crate::aggregate::{gcn_aggregate, gcn_aggregate_backward};
+use crate::aggregate::{
+    gcn_aggregate, gcn_aggregate_backward, gcn_aggregate_inner, gcn_fold_boundary,
+};
 use crate::layers::dropout;
 use bns_graph::CsrGraph;
 use bns_tensor::{xavier_uniform, Matrix, SeededRng};
@@ -30,6 +32,28 @@ pub struct GcnCache {
     z: Matrix,
     pre: Matrix,
     n_out: usize,
+    s: Vec<f32>,
+}
+
+/// Result of [`GcnLayer::forward_inner`] — everything computable before
+/// boundary features have arrived.
+#[derive(Debug, Clone)]
+pub struct GcnInnerPartial {
+    h_in_dropped: Matrix,
+    mask_in: Option<Matrix>,
+    z: Matrix,
+}
+
+/// Saved forward state for [`GcnLayer::backward_seg`]; never stores the
+/// boundary feature rows.
+#[derive(Debug, Clone)]
+pub struct GcnSegCache {
+    h_in_dropped: Matrix,
+    mask_in: Option<Matrix>,
+    mask_bd: Option<Matrix>,
+    z: Matrix,
+    pre: Matrix,
+    n_bd: usize,
     s: Vec<f32>,
 }
 
@@ -94,6 +118,110 @@ impl GcnLayer {
         )
     }
 
+    /// Phase 1 of the segmented forward pass: inner-row dropout and the
+    /// inner-edge partial aggregation (no self-loop term yet); runs
+    /// before boundary features arrive. See
+    /// [`crate::aggregate::gcn_aggregate_inner`] for the bitwise-identity
+    /// argument.
+    pub fn forward_inner(
+        &self,
+        g: &CsrGraph,
+        h_inner: &Matrix,
+        s: &[f32],
+        train: bool,
+        rng: &mut SeededRng,
+    ) -> GcnInnerPartial {
+        assert_eq!(h_inner.cols(), self.w.rows(), "input dim mismatch");
+        let (h_in_dropped, mask_in) = if train && self.dropout > 0.0 {
+            let (h, m) = dropout(h_inner, self.dropout, rng);
+            (h, Some(m))
+        } else {
+            (h_inner.clone(), None)
+        };
+        let z = gcn_aggregate_inner(g, &h_in_dropped, h_in_dropped.rows(), s);
+        GcnInnerPartial {
+            h_in_dropped,
+            mask_in,
+            z,
+        }
+    }
+
+    /// Phase 2 of the segmented forward pass: boundary dropout, boundary
+    /// fold + self-loop finalization, then the dense linear path. `h_bd`
+    /// is borrowed and not cached.
+    pub fn forward_boundary(
+        &self,
+        g: &CsrGraph,
+        partial: GcnInnerPartial,
+        h_bd: &Matrix,
+        s: &[f32],
+        train: bool,
+        rng: &mut SeededRng,
+    ) -> (Matrix, GcnSegCache) {
+        let GcnInnerPartial {
+            h_in_dropped,
+            mask_in,
+            mut z,
+        } = partial;
+        let n_inner = h_in_dropped.rows();
+        let dropped_store;
+        let mask_bd;
+        let h_bd_used: &Matrix = if train && self.dropout > 0.0 && h_bd.rows() > 0 {
+            let (h, m) = dropout(h_bd, self.dropout, rng);
+            dropped_store = h;
+            mask_bd = Some(m);
+            &dropped_store
+        } else {
+            mask_bd = None;
+            h_bd
+        };
+        gcn_fold_boundary(g, &mut z, &h_in_dropped, h_bd_used, n_inner, s);
+        let mut pre = z.matmul(&self.w);
+        pre.add_row_broadcast(self.b.row(0));
+        let out = self.act.apply(&pre);
+        (
+            out,
+            GcnSegCache {
+                h_in_dropped,
+                mask_in,
+                mask_bd,
+                z,
+                pre,
+                n_bd: h_bd.rows(),
+                s: s.to_vec(),
+            },
+        )
+    }
+
+    /// Segmented backward pass: returns `(dh_inner, dh_bd, grads)` —
+    /// bitwise equal to slicing [`GcnLayer::backward`]'s output at the
+    /// inner/boundary split.
+    pub fn backward_seg(
+        &self,
+        g: &CsrGraph,
+        cache: &GcnSegCache,
+        d_out: &Matrix,
+    ) -> (Matrix, Matrix, GcnGrads) {
+        let n_inner = cache.h_in_dropped.rows();
+        assert_eq!(d_out.rows(), n_inner, "d_out row mismatch");
+        let dpre = self.act.backward(&cache.pre, d_out);
+        let grads = GcnGrads {
+            w: cache.z.matmul_tn(&dpre),
+            b: Matrix::from_vec(1, self.w.cols(), dpre.col_sums()),
+        };
+        let dz = dpre.matmul_nt(&self.w);
+        let dh = gcn_aggregate_backward(g, &dz, n_inner + cache.n_bd, &cache.s);
+        let (mut dh_inner, dh_bd) = dh.split_rows(n_inner);
+        if let Some(m) = &cache.mask_in {
+            dh_inner = dh_inner.hadamard(m);
+        }
+        let dh_bd = match &cache.mask_bd {
+            Some(m) => dh_bd.hadamard(m),
+            None => dh_bd,
+        };
+        (dh_inner, dh_bd, grads)
+    }
+
     /// Backward pass: returns gradient for all input rows plus parameter
     /// gradients.
     pub fn backward(&self, g: &CsrGraph, cache: &GcnCache, d_out: &Matrix) -> (Matrix, GcnGrads) {
@@ -154,6 +282,47 @@ mod tests {
             "dw diff {}",
             grads.w.max_abs_diff(&fd_w)
         );
+    }
+
+    #[test]
+    fn segmented_forward_backward_matches_fused_bitwise() {
+        let mut rng = SeededRng::new(41);
+        let n_in = 7;
+        let n_bd = 4;
+        let mut b = bns_graph::GraphBuilder::new(n_in + n_bd);
+        for _ in 0..26 {
+            let u = rng.uniform_range(0.0, n_in as f32) as usize;
+            let v = rng.uniform_range(0.0, (n_in + n_bd) as f32) as usize;
+            if u != v {
+                b.add_edge(u, v.min(n_in + n_bd - 1));
+            }
+        }
+        let g = b.build();
+        let mut layer = GcnLayer::new(3, 5, Activation::Elu, 0.0, &mut rng);
+        layer.dropout = 0.3;
+        let h_inner = Matrix::random_normal(n_in, 3, 0.0, 1.0, &mut rng);
+        let h_bd = Matrix::random_normal(n_bd, 3, 0.0, 1.0, &mut rng);
+        let s: Vec<f32> = (0..g.num_nodes())
+            .map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt())
+            .collect();
+        let d_out = Matrix::random_normal(n_in, 5, 0.0, 1.0, &mut rng);
+
+        let mut rng_fused = SeededRng::new(88);
+        let (out_f, cache_f) =
+            layer.forward(&g, &h_inner.vstack(&h_bd), n_in, &s, true, &mut rng_fused);
+        let (dh_f, grads_f) = layer.backward(&g, &cache_f, &d_out);
+
+        let mut rng_seg = SeededRng::new(88);
+        let partial = layer.forward_inner(&g, &h_inner, &s, true, &mut rng_seg);
+        let (out_s, cache_s) = layer.forward_boundary(&g, partial, &h_bd, &s, true, &mut rng_seg);
+        let (dh_in, dh_bd, grads_s) = layer.backward_seg(&g, &cache_s, &d_out);
+
+        let bits = |m: &Matrix| -> Vec<u32> { m.as_slice().iter().map(|x| x.to_bits()).collect() };
+        assert_eq!(bits(&out_f), bits(&out_s));
+        assert_eq!(bits(&dh_f.slice_rows(0, n_in)), bits(&dh_in));
+        assert_eq!(bits(&dh_f.slice_rows(n_in, n_in + n_bd)), bits(&dh_bd));
+        assert_eq!(bits(&grads_f.w), bits(&grads_s.w));
+        assert_eq!(bits(&grads_f.b), bits(&grads_s.b));
     }
 
     #[test]

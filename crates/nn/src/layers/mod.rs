@@ -19,9 +19,9 @@ mod linear;
 mod sage;
 
 pub use gat::{GatCache, GatGrads, GatLayer};
-pub use gcn::{GcnCache, GcnGrads, GcnLayer};
+pub use gcn::{GcnCache, GcnGrads, GcnInnerPartial, GcnLayer, GcnSegCache};
 pub use linear::{LinearCache, LinearGrads, LinearLayer};
-pub use sage::{SageCache, SageGrads, SageLayer};
+pub use sage::{SageCache, SageGrads, SageInnerPartial, SageLayer, SageSegCache};
 
 use bns_tensor::{Matrix, SeededRng};
 

@@ -8,7 +8,10 @@
 //! two weight matrices added).
 
 use crate::activation::Activation;
-use crate::aggregate::{scaled_sum_aggregate, scaled_sum_aggregate_backward};
+use crate::aggregate::{
+    scaled_sum_aggregate, scaled_sum_aggregate_backward, scaled_sum_aggregate_inner,
+    scaled_sum_fold_boundary,
+};
 use crate::layers::dropout;
 use bns_graph::CsrGraph;
 use bns_tensor::{xavier_uniform, Matrix, SeededRng};
@@ -36,6 +39,30 @@ pub struct SageCache {
     z: Matrix,
     pre: Matrix,
     n_out: usize,
+    row_scale: Vec<f32>,
+}
+
+/// Result of [`SageLayer::forward_inner`] — everything computable
+/// before boundary features have arrived.
+#[derive(Debug, Clone)]
+pub struct SageInnerPartial {
+    h_in_dropped: Matrix,
+    mask_in: Option<Matrix>,
+    z: Matrix,
+}
+
+/// Saved forward state for [`SageLayer::backward_seg`] — the segmented
+/// twin of [`SageCache`]. Unlike the fused cache it never stores the
+/// boundary feature rows (the backward pass does not need them), so the
+/// per-layer activation memory drops by the halo size.
+#[derive(Debug, Clone)]
+pub struct SageSegCache {
+    h_in_dropped: Matrix,
+    mask_in: Option<Matrix>,
+    mask_bd: Option<Matrix>,
+    z: Matrix,
+    pre: Matrix,
+    n_bd: usize,
     row_scale: Vec<f32>,
 }
 
@@ -123,6 +150,121 @@ impl SageLayer {
                 row_scale: row_scale.to_vec(),
             },
         )
+    }
+
+    /// Phase 1 of the segmented forward pass: input dropout on the inner
+    /// rows plus the inner-edge partial aggregation — everything that
+    /// does not touch boundary features, so the engine can run it while
+    /// boundary blocks are in flight. All `h_inner.rows()` rows are
+    /// treated as update targets.
+    ///
+    /// Combined with [`SageLayer::forward_boundary`] this is bitwise
+    /// identical to [`SageLayer::forward`] on `vstack(h_inner, h_bd)`:
+    /// dropout draws its RNG stream row-major (inner rows first), and
+    /// sorted CSR rows put inner neighbors before boundary neighbors.
+    pub fn forward_inner(
+        &self,
+        g: &CsrGraph,
+        h_inner: &Matrix,
+        train: bool,
+        rng: &mut SeededRng,
+    ) -> SageInnerPartial {
+        assert_eq!(h_inner.cols(), self.d_in(), "input dim mismatch");
+        let (h_in_dropped, mask_in) = if train && self.dropout > 0.0 {
+            let (h, m) = dropout(h_inner, self.dropout, rng);
+            (h, Some(m))
+        } else {
+            (h_inner.clone(), None)
+        };
+        let z = scaled_sum_aggregate_inner(g, &h_in_dropped, h_in_dropped.rows());
+        SageInnerPartial {
+            h_in_dropped,
+            mask_in,
+            z,
+        }
+    }
+
+    /// Phase 2 of the segmented forward pass: boundary dropout, boundary
+    /// fold + scaling, and the dense linear path. `h_bd` is borrowed
+    /// (it can live in a reusable exchange arena) and is **not** kept in
+    /// the cache.
+    pub fn forward_boundary(
+        &self,
+        g: &CsrGraph,
+        partial: SageInnerPartial,
+        h_bd: &Matrix,
+        row_scale: &[f32],
+        train: bool,
+        rng: &mut SeededRng,
+    ) -> (Matrix, SageSegCache) {
+        let SageInnerPartial {
+            h_in_dropped,
+            mask_in,
+            mut z,
+        } = partial;
+        let n_inner = h_in_dropped.rows();
+        let dropped_store;
+        let mask_bd;
+        let h_bd_used: &Matrix = if train && self.dropout > 0.0 && h_bd.rows() > 0 {
+            let (h, m) = dropout(h_bd, self.dropout, rng);
+            dropped_store = h;
+            mask_bd = Some(m);
+            &dropped_store
+        } else {
+            mask_bd = None;
+            h_bd
+        };
+        scaled_sum_fold_boundary(g, &mut z, h_bd_used, n_inner, row_scale);
+        let mut pre = h_in_dropped.matmul(&self.w_self);
+        pre.add_assign(&z.matmul(&self.w_neigh));
+        pre.add_row_broadcast(self.b.row(0));
+        let out = self.act.apply(&pre);
+        (
+            out,
+            SageSegCache {
+                h_in_dropped,
+                mask_in,
+                mask_bd,
+                z,
+                pre,
+                n_bd: h_bd.rows(),
+                row_scale: row_scale.to_vec(),
+            },
+        )
+    }
+
+    /// Segmented backward pass: returns `(dh_inner, dh_bd, grads)`
+    /// directly instead of one stacked gradient matrix — bitwise equal
+    /// to slicing [`SageLayer::backward`]'s output at the inner/boundary
+    /// split.
+    pub fn backward_seg(
+        &self,
+        g: &CsrGraph,
+        cache: &SageSegCache,
+        d_out: &Matrix,
+    ) -> (Matrix, Matrix, SageGrads) {
+        let n_inner = cache.h_in_dropped.rows();
+        assert_eq!(d_out.rows(), n_inner, "d_out row mismatch");
+        let dpre = self.act.backward(&cache.pre, d_out);
+        let grads = SageGrads {
+            w_self: cache.h_in_dropped.matmul_tn(&dpre),
+            w_neigh: cache.z.matmul_tn(&dpre),
+            b: Matrix::from_vec(1, self.d_out(), dpre.col_sums()),
+        };
+        let dz = dpre.matmul_nt(&self.w_neigh);
+        let dh = scaled_sum_aggregate_backward(g, &dz, n_inner + cache.n_bd, &cache.row_scale);
+        let (mut dh_inner, dh_bd) = dh.split_rows(n_inner);
+        let dh_self = dpre.matmul_nt(&self.w_self);
+        let idx: Vec<usize> = (0..n_inner).collect();
+        dh_inner.scatter_add_rows(&idx, &dh_self);
+        if let Some(m) = &cache.mask_in {
+            dh_inner = dh_inner.hadamard(m);
+        }
+        let dh_bd = match &cache.mask_bd {
+            Some(m) => dh_bd.hadamard(m),
+            None => dh_bd,
+        };
+        (dh_inner, dh_bd, grads)
     }
 
     /// Backward pass: given `d_out` (`n_out x d_out`), returns the
@@ -253,6 +395,55 @@ mod tests {
         // Boundary node 2 is a neighbor of updated node 0, so it must
         // carry gradient from the neighbor path.
         assert!(dh.row(2).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn segmented_forward_backward_matches_fused_bitwise() {
+        // Local-style graph: 8 inner rows + 3 boundary rows, boundary
+        // nodes only adjacent to inner nodes (as epoch topologies are).
+        let mut rng = SeededRng::new(31);
+        let n_in = 8;
+        let n_bd = 3;
+        let mut b = bns_graph::GraphBuilder::new(n_in + n_bd);
+        for _ in 0..30 {
+            let u = rng.uniform_range(0.0, n_in as f32) as usize;
+            let v = rng.uniform_range(0.0, (n_in + n_bd) as f32) as usize;
+            if u != v {
+                b.add_edge(u, v.min(n_in + n_bd - 1));
+            }
+        }
+        let g = b.build();
+        let mut layer = SageLayer::new(4, 3, Activation::Relu, 0.0, &mut rng);
+        layer.dropout = 0.4;
+        let h_inner = Matrix::random_normal(n_in, 4, 0.0, 1.0, &mut rng);
+        let h_bd = Matrix::random_normal(n_bd, 4, 0.0, 1.0, &mut rng);
+        let scale: Vec<f32> = (0..n_in).map(|v| 1.0 / g.degree(v).max(1) as f32).collect();
+        let d_out = Matrix::random_normal(n_in, 3, 0.0, 1.0, &mut rng);
+
+        let mut rng_fused = SeededRng::new(77);
+        let (out_f, cache_f) = layer.forward(
+            &g,
+            &h_inner.vstack(&h_bd),
+            n_in,
+            &scale,
+            true,
+            &mut rng_fused,
+        );
+        let (dh_f, grads_f) = layer.backward(&g, &cache_f, &d_out);
+
+        let mut rng_seg = SeededRng::new(77);
+        let partial = layer.forward_inner(&g, &h_inner, true, &mut rng_seg);
+        let (out_s, cache_s) =
+            layer.forward_boundary(&g, partial, &h_bd, &scale, true, &mut rng_seg);
+        let (dh_in, dh_bd, grads_s) = layer.backward_seg(&g, &cache_s, &d_out);
+
+        let bits = |m: &Matrix| -> Vec<u32> { m.as_slice().iter().map(|x| x.to_bits()).collect() };
+        assert_eq!(bits(&out_f), bits(&out_s));
+        assert_eq!(bits(&dh_f.slice_rows(0, n_in)), bits(&dh_in));
+        assert_eq!(bits(&dh_f.slice_rows(n_in, n_in + n_bd)), bits(&dh_bd));
+        assert_eq!(bits(&grads_f.w_self), bits(&grads_s.w_self));
+        assert_eq!(bits(&grads_f.w_neigh), bits(&grads_s.w_neigh));
+        assert_eq!(bits(&grads_f.b), bits(&grads_s.b));
     }
 
     #[test]

@@ -31,8 +31,9 @@ mod optim;
 
 pub use activation::Activation;
 pub use layers::{
-    GatCache, GatGrads, GatLayer, GcnCache, GcnGrads, GcnLayer, LinearCache, LinearGrads,
-    LinearLayer, SageCache, SageGrads, SageLayer,
+    GatCache, GatGrads, GatLayer, GcnCache, GcnGrads, GcnInnerPartial, GcnLayer, GcnSegCache,
+    LinearCache, LinearGrads, LinearLayer, SageCache, SageGrads, SageInnerPartial, SageLayer,
+    SageSegCache,
 };
 pub use models::{flatten, unflatten_into, GatModel, SageModel};
 pub use optim::Adam;

@@ -20,7 +20,7 @@ use std::ops::{Add, Mul, Sub};
 /// let b = Matrix::eye(2);
 /// assert_eq!(a.matmul(&b), a);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -490,6 +490,51 @@ impl Matrix {
         out
     }
 
+    /// Adds rows laid out contiguously in `src` (`idx.len() × self.cols`
+    /// row-major) into `self.row(idx[i])` — [`Matrix::scatter_add_rows`]
+    /// without requiring the source to be materialized as a `Matrix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on index out of bounds or if `src.len() != idx.len() * cols`.
+    pub fn scatter_add_rows_slice(&mut self, idx: &[usize], src: &[f32]) {
+        assert_eq!(
+            src.len(),
+            idx.len() * self.cols,
+            "scatter_add_rows_slice: src length mismatch"
+        );
+        for (i, &r) in idx.iter().enumerate() {
+            assert!(
+                r < self.rows,
+                "scatter_add_rows_slice: index {r} out of bounds"
+            );
+            let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (d, s) in dst.iter_mut().zip(&src[i * self.cols..(i + 1) * self.cols]) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Splits rows at `at`, consuming `self`: returns
+    /// `(self[..at, :], self[at.., :])`. The top part reuses the existing
+    /// allocation (truncate in place, no copy); only the bottom rows are
+    /// copied out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > rows`.
+    pub fn split_rows(mut self, at: usize) -> (Matrix, Matrix) {
+        assert!(at <= self.rows, "split_rows out of bounds");
+        let bottom = Matrix::from_vec(
+            self.rows - at,
+            self.cols,
+            self.data[at * self.cols..].to_vec(),
+        );
+        self.data.truncate(at * self.cols);
+        self.rows = at;
+        (self, bottom)
+    }
+
     /// The sub-matrix of rows `[start, end)`.
     ///
     /// # Panics
@@ -791,6 +836,41 @@ mod tests {
         dst.scatter_add_rows(&[0, 0], &src);
         assert_eq!(dst.row(0), &[4.0, 6.0]);
         assert_eq!(dst.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn scatter_add_rows_slice_matches_matrix_form() {
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let idx = [2usize, 0, 2];
+        let mut a = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let mut b = a.clone();
+        a.scatter_add_rows(&idx, &src);
+        b.scatter_add_rows_slice(&idx, src.as_slice());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "src length mismatch")]
+    fn scatter_add_rows_slice_rejects_bad_length() {
+        let mut a = Matrix::zeros(2, 2);
+        a.scatter_add_rows_slice(&[0], &[1.0]);
+    }
+
+    #[test]
+    fn split_rows_inverts_vstack() {
+        let mut rng = SeededRng::new(3);
+        let a = Matrix::random_normal(4, 3, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(2, 3, 0.0, 1.0, &mut rng);
+        let (top, bottom) = a.vstack(&b).split_rows(4);
+        assert_eq!(top, a);
+        assert_eq!(bottom, b);
+        // Degenerate splits.
+        let (t, bot) = a.clone().split_rows(0);
+        assert_eq!(t.shape(), (0, 3));
+        assert_eq!(bot, a);
+        let (t, bot) = a.clone().split_rows(4);
+        assert_eq!(t, a);
+        assert_eq!(bot.shape(), (0, 3));
     }
 
     #[test]

@@ -21,8 +21,8 @@ fn main() {
     // the cost model operates in the paper's bandwidth-bound regime.
     let wscale = 2_400_000.0 / ds.num_nodes() as f64;
 
-    println!("k   p      boundary   comm MB/ep   peak mem   sim epoch");
-    println!("--  -----  ---------  -----------  ---------  ---------");
+    println!("k   p      boundary   comm MB/ep   peak mem   sim epoch  meas epoch");
+    println!("--  -----  ---------  -----------  ---------  ---------  ----------");
     for k in [2usize, 4, 8] {
         let part = MetisLikePartitioner::default().partition(&ds.graph, k, 0);
         let plan = Arc::new(PartitionPlan::build(&ds, &part));
@@ -48,10 +48,11 @@ fn main() {
                 / run.epochs.len();
             let sim = run.avg_sim_epoch_scaled(&cost, wscale);
             println!(
-                "{k:<3} {p:<6} {selected:<10} {:<12.2} {:>7.1}MB  {:.2}ms",
+                "{k:<3} {p:<6} {selected:<10} {:<12.2} {:>7.1}MB  {:<9.2}  {:.2}ms",
                 run.epoch_comm_mb(),
                 *run.peak_mem_per_rank.iter().max().unwrap() as f64 / 1e6,
                 sim.total() * 1e3,
+                run.avg_epoch_s() * 1e3,
             );
         }
     }
