@@ -13,6 +13,9 @@
 //! instead of GPUs) — the *shape* is the reproduced quantity; see
 //! `EXPERIMENTS.md` for the paper-vs-measured comparison.
 
+// No unsafe here, enforced at compile time (the audited unsafe lives in
+// bns-tensor, bns-nn and the vendored loom shim; see UNSAFE_LEDGER.md).
+#![forbid(unsafe_code)]
 pub mod exp_ablation;
 pub mod exp_accuracy;
 pub mod exp_edge;

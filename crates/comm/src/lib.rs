@@ -38,8 +38,12 @@
 //! assert_eq!(results[1], (0.0, 2.0));
 //! ```
 
+// No unsafe here, enforced at compile time (the audited unsafe lives in
+// bns-tensor, bns-nn and the vendored loom shim; see UNSAFE_LEDGER.md).
+#![forbid(unsafe_code)]
 mod cost;
 mod rank;
+mod sync;
 mod traffic;
 
 pub use cost::CostModel;

@@ -1,10 +1,15 @@
 //! Per-rank communication handles, point-to-point messaging and
 //! collectives.
 
+// The mailbox transport (channels, rank threads) goes through
+// `crate::sync`, which resolves to `std` normally and to the vendored
+// loom shims under `--cfg loom` so the protocol can be model-checked
+// exhaustively (tests/loom_mailbox.rs).
+use crate::sync::mpsc::{channel, Receiver, Sender};
+use crate::sync::thread;
 use crate::{TrafficClass, TrafficStats};
 use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 /// Anything that can be sent between ranks with a well-defined wire size.
@@ -26,6 +31,10 @@ struct Message {
     tag: u64,
     payload: Box<dyn Any + Send>,
     bytes: usize,
+    /// Position in the sender's per-destination send order; drives the
+    /// `debug_assertions`-gated per-`(source, tag)` FIFO delivery check.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    seq: u64,
 }
 
 /// A tagged message in flight: `(source rank, message)`.
@@ -51,6 +60,21 @@ pub struct RankComm {
     pending: Vec<VecDeque<Message>>,
     stats: TrafficStats,
     coll_seq: u64,
+    /// Per-destination count of messages sent (assigns `Message::seq`).
+    send_seq: Vec<u64>,
+    /// Highest `seq` delivered so far per `(source, tag)` stream, used
+    /// by the FIFO invariant check. Only populated in debug builds.
+    #[cfg(debug_assertions)]
+    delivered_seq: std::collections::HashMap<(usize, u64), u64>,
+    /// Bytes enqueued into peers' mailboxes (mailbox-side accounting).
+    #[cfg(debug_assertions)]
+    mailbox_bytes: u64,
+    /// Bytes recorded into [`TrafficStats`] (stats-side accounting).
+    /// Shadowed separately from the stats themselves because callers
+    /// may reset those between epochs; the two shadow streams must
+    /// agree byte-for-byte after every send.
+    #[cfg(debug_assertions)]
+    recorded_bytes: u64,
 }
 
 impl std::fmt::Debug for RankComm {
@@ -93,6 +117,13 @@ pub fn create_world(world_size: usize) -> Vec<RankComm> {
             pending: (0..world_size).map(|_| VecDeque::new()).collect(),
             stats: TrafficStats::new(),
             coll_seq: 0,
+            send_seq: vec![0; world_size],
+            #[cfg(debug_assertions)]
+            delivered_seq: std::collections::HashMap::new(),
+            #[cfg(debug_assertions)]
+            mailbox_bytes: 0,
+            #[cfg(debug_assertions)]
+            recorded_bytes: 0,
         })
         .collect()
 }
@@ -110,7 +141,7 @@ where
         .into_iter()
         .map(|comm| {
             let f = Arc::clone(&f);
-            std::thread::spawn(move || {
+            thread::spawn(move || {
                 // One trace timeline (tid) per rank.
                 bns_telemetry::set_thread_rank(comm.rank());
                 f(comm)
@@ -163,14 +194,32 @@ impl RankComm {
         assert_ne!(to, self.rank, "self-send is not allowed");
         let bytes = payload.wire_bytes();
         self.stats.record(class, bytes);
+        #[cfg(debug_assertions)]
+        {
+            self.recorded_bytes += bytes as u64;
+        }
         bns_telemetry::counter_add("comm.bytes_sent", bytes as u64);
         bns_telemetry::counter_add(class.counter_name(), bytes as u64);
         bns_telemetry::counter_add("comm.msgs_sent", 1);
+        let seq = self.send_seq[to];
+        self.send_seq[to] += 1;
         let msg = Message {
             tag,
             payload: Box::new(payload),
             bytes,
+            seq,
         };
+        #[cfg(debug_assertions)]
+        {
+            self.mailbox_bytes += msg.bytes as u64;
+            // Exact byte agreement between the two accounting paths:
+            // what TrafficStats recorded and what the mailbox carries.
+            debug_assert_eq!(
+                self.mailbox_bytes, self.recorded_bytes,
+                "rank {}: mailbox accounting ({} B) diverged from TrafficStats ({} B)",
+                self.rank, self.mailbox_bytes, self.recorded_bytes
+            );
+        }
         self.to_peer[to]
             .as_ref()
             .expect("sender missing")
@@ -188,12 +237,21 @@ impl RankComm {
     /// or if the peer disconnected before sending.
     pub fn recv<T: Wire>(&mut self, from: usize, tag: u64) -> T {
         let msg = self.recv_msg(from, tag);
-        *msg.payload.downcast::<T>().unwrap_or_else(|_| {
+        let bytes = msg.bytes;
+        let v = *msg.payload.downcast::<T>().unwrap_or_else(|_| {
             panic!(
                 "rank {}: type mismatch receiving tag {tag} from {from}",
                 self.rank
             )
-        })
+        });
+        // The type-erased transport must preserve accounted wire size.
+        debug_assert_eq!(
+            v.wire_bytes(),
+            bytes,
+            "rank {}: wire size changed in transit (tag {tag} from {from})",
+            self.rank
+        );
+        v
     }
 
     /// Like [`RankComm::recv`] but also returns the wire size in bytes.
@@ -206,18 +264,58 @@ impl RankComm {
                 self.rank
             )
         });
+        debug_assert_eq!(
+            v.wire_bytes(),
+            bytes,
+            "rank {}: wire size changed in transit (tag {tag} from {from})",
+            self.rank
+        );
         (v, bytes)
     }
+
+    /// `debug_assertions`-gated delivery invariant: within one
+    /// `(source, tag)` stream, messages must reach the application in
+    /// strictly increasing send order. `seq` is numbered per
+    /// destination across all tags, so within a stream it is monotone
+    /// but not contiguous.
+    #[cfg(debug_assertions)]
+    fn note_delivery(&mut self, src: usize, msg: &Message) {
+        use std::collections::hash_map::Entry;
+        match self.delivered_seq.entry((src, msg.tag)) {
+            Entry::Occupied(mut e) => {
+                assert!(
+                    msg.seq > *e.get(),
+                    "rank {}: FIFO violation on (source {src}, tag {}): \
+                     delivered seq {} after seq {}",
+                    self.rank,
+                    msg.tag,
+                    msg.seq,
+                    e.get()
+                );
+                e.insert(msg.seq);
+            }
+            Entry::Vacant(e) => {
+                e.insert(msg.seq);
+            }
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline]
+    fn note_delivery(&mut self, _src: usize, _msg: &Message) {}
 
     fn recv_msg(&mut self, from: usize, tag: u64) -> Message {
         assert!(from < self.world, "recv from rank {from} out of bounds");
         assert_ne!(from, self.rank, "self-receive is not allowed");
         if let Some(pos) = self.pending[from].iter().position(|m| m.tag == tag) {
-            return self.pending[from].remove(pos).unwrap();
+            let msg = self.pending[from].remove(pos).unwrap();
+            self.note_delivery(from, &msg);
+            return msg;
         }
         loop {
             let (src, msg) = self.inbox.recv().expect("peer disconnected");
             if src == from && msg.tag == tag {
+                self.note_delivery(src, &msg);
                 return msg;
             }
             self.pending[src].push_back(msg);
@@ -241,12 +339,19 @@ impl RankComm {
     /// rank, on payload type mismatch, or if a peer disconnected.
     pub fn recv_any<T: Wire>(&mut self, tag: u64, from: &[usize]) -> (usize, T) {
         let (src, msg) = self.recv_any_msg(tag, from);
+        let bytes = msg.bytes;
         let v = *msg.payload.downcast::<T>().unwrap_or_else(|_| {
             panic!(
                 "rank {}: type mismatch receiving tag {tag} from {src}",
                 self.rank
             )
         });
+        debug_assert_eq!(
+            v.wire_bytes(),
+            bytes,
+            "rank {}: wire size changed in transit (tag {tag} from {src})",
+            self.rank
+        );
         (src, v)
     }
 
@@ -257,13 +362,16 @@ impl RankComm {
             assert_ne!(src, self.rank, "self-receive is not allowed");
             if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
                 bns_telemetry::counter_add("comm.recv_any_ready", 1);
-                return (src, self.pending[src].remove(pos).unwrap());
+                let msg = self.pending[src].remove(pos).unwrap();
+                self.note_delivery(src, &msg);
+                return (src, msg);
             }
         }
         bns_telemetry::counter_add("comm.recv_any_waited", 1);
         loop {
             let (src, msg) = self.inbox.recv().expect("peer disconnected");
             if msg.tag == tag && from.contains(&src) {
+                self.note_delivery(src, &msg);
                 return (src, msg);
             }
             self.pending[src].push_back(msg);

@@ -1,0 +1,18 @@
+//! Switched synchronization primitives for the mailbox transport.
+//!
+//! Normal builds re-export `std`; under `--cfg loom` the same names
+//! resolve to the vendored loom shims so `cargo test --test
+//! loom_mailbox` can exhaustively model-check the `RankComm` mailbox
+//! protocol — per-`(source, tag)` FIFO pending queues and `recv_any`
+//! arrival-order delivery (see `tests/loom_mailbox.rs` and DESIGN.md
+//! §9).
+
+#[cfg(loom)]
+pub(crate) use loom::sync::mpsc;
+#[cfg(loom)]
+pub(crate) use loom::thread;
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::mpsc;
+#[cfg(not(loom))]
+pub(crate) use std::thread;

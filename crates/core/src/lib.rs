@@ -61,6 +61,9 @@
 //! assert_eq!(run.epochs.len(), 5);
 //! ```
 
+// No unsafe here, enforced at compile time (the audited unsafe lives in
+// bns-tensor, bns-nn and the vendored loom shim; see UNSAFE_LEDGER.md).
+#![forbid(unsafe_code)]
 pub mod costsim;
 pub mod engine;
 pub mod exchange;

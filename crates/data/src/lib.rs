@@ -33,6 +33,9 @@
 //! assert!(ds.graph.num_edges() > 2_000);
 //! ```
 
+// No unsafe here, enforced at compile time (the audited unsafe lives in
+// bns-tensor, bns-nn and the vendored loom shim; see UNSAFE_LEDGER.md).
+#![forbid(unsafe_code)]
 mod dataset;
 mod spec;
 

@@ -23,6 +23,9 @@
 //! assert_eq!(g.neighbors(1), &[0, 2]);
 //! ```
 
+// No unsafe here, enforced at compile time (the audited unsafe lives in
+// bns-tensor, bns-nn and the vendored loom shim; see UNSAFE_LEDGER.md).
+#![forbid(unsafe_code)]
 pub mod algo;
 mod csr;
 pub mod generators;

@@ -19,7 +19,12 @@ use bns_tensor::{pool, Matrix};
 /// pointee (see the SAFETY comments at each use).
 #[derive(Clone, Copy)]
 struct SendMutPtr(*mut f32);
+// SAFETY: the wrapper is only handed to pool jobs that write disjoint
+// row ranges of the pointee, and `ThreadPool::run` joins every job
+// before the borrow it was derived from ends.
 unsafe impl Send for SendMutPtr {}
+// SAFETY: as above — shared references only ever read the pointer
+// value itself; all writes through it are range-disjoint per job.
 unsafe impl Sync for SendMutPtr {}
 
 impl SendMutPtr {
@@ -34,7 +39,12 @@ impl SendMutPtr {
 /// Same idea for `*mut Matrix` (per-block partial buffers).
 #[derive(Clone, Copy)]
 struct SendMatPtr(*mut Matrix);
+// SAFETY: each pool job dereferences a distinct element of the partial
+// buffer slice (indexed by its own job id), and the jobs are joined
+// before the buffer is read or dropped.
 unsafe impl Send for SendMatPtr {}
+// SAFETY: as above — per-job exclusive element access, joined before
+// the owning scope continues.
 unsafe impl Sync for SendMatPtr {}
 
 impl SendMatPtr {
@@ -45,13 +55,23 @@ impl SendMatPtr {
 
 /// Minimum target rows per parallel block for the forward kernels
 /// (below this the per-dispatch overhead dominates).
+#[cfg(not(miri))]
 const AGG_MIN_ROWS: usize = 64;
+/// Under Miri the interpreter is ~1000x slower, so the thresholds
+/// shrink: tiny test inputs still take the parallel raw-pointer path
+/// that Miri is there to check (tests/miri_kernels.rs).
+#[cfg(miri)]
+const AGG_MIN_ROWS: usize = 4;
 
 /// Source rows per backward scatter block. The block structure is a
 /// function of the problem size only — never of the thread count — so
 /// the partial-buffer reduction below is bitwise reproducible under
 /// any pool size.
+#[cfg(not(miri))]
 const SCATTER_BLOCK_ROWS: usize = 256;
+/// Miri-sized (see [`AGG_MIN_ROWS`]).
+#[cfg(miri)]
+const SCATTER_BLOCK_ROWS: usize = 4;
 
 /// Upper bound on backward scatter blocks, bounding partial-buffer
 /// memory at `SCATTER_MAX_BLOCKS x n_rows_h x d` floats.

@@ -1,0 +1,107 @@
+//! Miri-sized exercise of every raw-pointer kernel in bns-nn: the
+//! forward aggregates (fused and segmented inner/fold pairs) and the
+//! backward blocked-scatter reduction.
+//!
+//! Run under Miri with:
+//!
+//! ```text
+//! cargo +nightly miri test -p bns-nn --test miri_kernels
+//! ```
+//!
+//! Under `cfg(miri)` the aggregation thresholds shrink
+//! (`AGG_MIN_ROWS`, `SCATTER_BLOCK_ROWS` in src/aggregate.rs), so the
+//! small graphs here still fan the `from_raw_parts_mut` row blocks and
+//! the partial-buffer scatter across a real multi-thread pool — the
+//! aliasing claims get checked on the genuinely concurrent path. The
+//! same tests run natively (larger sizes) as ordinary regression
+//! tests; each asserts via `DispatchStats` that the parallel path
+//! actually ran.
+
+use bns_graph::generators::{erdos_renyi_m, ring};
+use bns_nn::aggregate::{
+    gcn_aggregate, gcn_aggregate_backward, gcn_aggregate_inner, gcn_fold_boundary,
+    scaled_sum_aggregate, scaled_sum_aggregate_backward, scaled_sum_aggregate_inner,
+    scaled_sum_fold_boundary,
+};
+use bns_tensor::pool::{self, ThreadPool};
+use bns_tensor::{Matrix, SeededRng};
+
+/// Node count: enough rows to split into several parallel blocks at
+/// the active `AGG_MIN_ROWS` / `SCATTER_BLOCK_ROWS` thresholds.
+#[cfg(miri)]
+const N: usize = 16;
+#[cfg(not(miri))]
+const N: usize = 520;
+
+const D: usize = 3;
+
+fn take_rows(m: &Matrix, lo: usize, hi: usize) -> Matrix {
+    let rows: Vec<&[f32]> = (lo..hi).map(|r| m.row(r)).collect();
+    Matrix::from_rows(&rows)
+}
+
+#[test]
+fn forward_and_backward_aggregates_parallel_match_serial_bitwise() {
+    let mut rng = SeededRng::new(11);
+    let g = erdos_renyi_m(N, 3 * N, &mut rng);
+    let h = Matrix::random_normal(N, D, 0.0, 1.0, &mut rng);
+    let scale: Vec<f32> = (0..N).map(|_| rng.uniform_range(0.1, 2.0)).collect();
+
+    // Serial pass (no pool installed => inline fallback).
+    let fwd_serial = scaled_sum_aggregate(&g, &h, N, &scale);
+    let bwd_serial = scaled_sum_aggregate_backward(&g, &fwd_serial, N, &scale);
+    let gcn_serial = gcn_aggregate(&g, &h, N, &scale);
+    let gcn_bwd_serial = gcn_aggregate_backward(&g, &gcn_serial, N, &scale);
+
+    // Same kernels through a multi-thread pool.
+    let p = ThreadPool::new(3);
+    let guard = pool::install(p.clone());
+    let fwd_par = scaled_sum_aggregate(&g, &h, N, &scale);
+    let bwd_par = scaled_sum_aggregate_backward(&g, &fwd_par, N, &scale);
+    let gcn_par = gcn_aggregate(&g, &h, N, &scale);
+    let gcn_bwd_par = gcn_aggregate_backward(&g, &gcn_par, N, &scale);
+    assert!(
+        p.stats().parallel_dispatches >= 4,
+        "aggregate sizes did not reach the parallel path: {:?}",
+        p.stats()
+    );
+    drop(guard);
+
+    // The determinism contract: identical bits, any thread count.
+    assert_eq!(fwd_serial, fwd_par, "scaled_sum_aggregate");
+    assert_eq!(bwd_serial, bwd_par, "scaled_sum_aggregate_backward");
+    assert_eq!(gcn_serial, gcn_par, "gcn_aggregate");
+    assert_eq!(gcn_bwd_serial, gcn_bwd_par, "gcn_aggregate_backward");
+}
+
+#[test]
+fn segmented_inner_plus_fold_matches_fused_kernels() {
+    // Ring: node v's neighbors are v±1, so with the last 4 nodes
+    // designated "boundary" only a few rows near the seam fold.
+    let mut rng = SeededRng::new(13);
+    let g = ring(N);
+    let h = Matrix::random_normal(N, D, 0.0, 1.0, &mut rng);
+    let n_inner = N - 4;
+    let n_out = n_inner;
+    let h_inner = take_rows(&h, 0, n_inner);
+    let h_bd = take_rows(&h, n_inner, N);
+    let scale: Vec<f32> = (0..N).map(|_| rng.uniform_range(0.1, 2.0)).collect();
+
+    let p = ThreadPool::new(3);
+    let guard = pool::install(p.clone());
+
+    // scaled-sum pair vs. the fused kernel.
+    let fused = scaled_sum_aggregate(&g, &h, n_out, &scale[..n_out]);
+    let mut z = scaled_sum_aggregate_inner(&g, &h_inner, n_out);
+    scaled_sum_fold_boundary(&g, &mut z, &h_bd, n_inner, &scale[..n_out]);
+    assert_eq!(fused, z, "scaled-sum inner+fold vs fused");
+
+    // GCN pair vs. the fused kernel.
+    let gcn_fused = gcn_aggregate(&g, &h, n_out, &scale);
+    let mut zg = gcn_aggregate_inner(&g, &h_inner, n_out, &scale);
+    gcn_fold_boundary(&g, &mut zg, &h_inner, &h_bd, n_inner, &scale);
+    assert_eq!(gcn_fused, zg, "gcn inner+fold vs fused");
+
+    assert!(p.stats().parallel_dispatches > 0);
+    drop(guard);
+}

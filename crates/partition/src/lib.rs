@@ -30,6 +30,9 @@
 //! assert!(metrics::edge_cut(&g, &part) <= 12);
 //! ```
 
+// No unsafe here, enforced at compile time (the audited unsafe lives in
+// bns-tensor, bns-nn and the vendored loom shim; see UNSAFE_LEDGER.md).
+#![forbid(unsafe_code)]
 pub mod metrics;
 mod multilevel;
 mod partitioners;

@@ -42,6 +42,9 @@
 //! # bns_telemetry::reset();
 //! ```
 
+// No unsafe here, enforced at compile time (the audited unsafe lives in
+// bns-tensor, bns-nn and the vendored loom shim; see UNSAFE_LEDGER.md).
+#![forbid(unsafe_code)]
 pub mod export;
 pub mod metrics;
 pub mod span;

@@ -29,6 +29,7 @@ mod init;
 mod matrix;
 pub mod pool;
 mod rng;
+mod sync;
 
 pub use init::{kaiming_uniform, xavier_uniform};
 pub use matrix::Matrix;

@@ -621,7 +621,12 @@ impl Matrix {
 /// pointee (see the SAFETY comments at each use).
 #[derive(Clone, Copy)]
 struct SendMutPtr(*mut f32);
+// SAFETY: the wrapper is only handed to pool jobs that write disjoint
+// row ranges of the output buffer, and `ThreadPool::run` joins every
+// job before the `&mut` borrow it was derived from ends.
 unsafe impl Send for SendMutPtr {}
+// SAFETY: as above — shared references only ever read the pointer
+// value itself; all writes through it are range-disjoint per job.
 unsafe impl Sync for SendMutPtr {}
 
 impl SendMutPtr {
@@ -640,7 +645,13 @@ const MM_KC: usize = 128;
 
 /// Minimum FLOPs-per-element budget below which a matmul stays serial
 /// (fan-out costs more than it saves on tiny products).
+#[cfg(not(miri))]
 const PAR_MIN_WORK: usize = 64 * 1024;
+/// Under Miri the interpreter is ~1000x slower, so the budget shrinks:
+/// tiny test products still take the parallel raw-pointer path that
+/// Miri is there to check (tests/miri_kernels.rs).
+#[cfg(miri)]
+const PAR_MIN_WORK: usize = 64;
 
 /// Minimum rows per parallel block for a kernel whose per-output-row
 /// cost is `work_per_row` multiply-adds.

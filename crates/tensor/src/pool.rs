@@ -48,10 +48,18 @@
 //! assert_eq!(hits.load(Ordering::Relaxed), 100);
 //! ```
 
+// Protocol state (`JobBatch.next`, the completion latch, the dispatch
+// channel, worker threads) goes through `crate::sync`, which resolves
+// to `std` normally and to the loom shims under `--cfg loom` so the
+// latch protocol can be model-checked exhaustively (tests/loom_pool.rs).
+// Monotonic telemetry counters stay on real std atomics: they play no
+// role in the protocol and would only inflate the model's state space.
+use crate::sync::{mpsc, thread, AtomicUsize, Condvar, Mutex};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+type JoinHandle = thread::JoinHandle<()>;
 
 /// Environment variable overriding the thread budget.
 pub const ENV_THREADS: &str = "BNS_THREADS";
@@ -166,7 +174,7 @@ impl JobBatch {
 pub struct ThreadPool {
     threads: usize,
     sender: Option<mpsc::Sender<Arc<JobBatch>>>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle>,
     parallel_dispatches: AtomicU64,
     jobs: AtomicU64,
 }
@@ -191,7 +199,7 @@ impl ThreadPool {
             for w in 0..threads - 1 {
                 let rx = Arc::clone(&rx);
                 workers.push(
-                    std::thread::Builder::new()
+                    thread::Builder::new()
                         .name(format!("bns-pool-{w}"))
                         .spawn(move || loop {
                             let batch = {

@@ -1,0 +1,23 @@
+//! Switched synchronization primitives for the pool's dispatch
+//! protocol.
+//!
+//! Normal builds re-export `std`; under `--cfg loom` the same names
+//! resolve to the vendored loom shims so `cargo test --test loom_pool`
+//! can exhaustively model-check the `JobBatch` latch (see
+//! `tests/loom_pool.rs` and DESIGN.md §9). Only *protocol* state goes
+//! through these types — monotonic telemetry counters stay on real
+//! `std` atomics so they do not blow up the model's state space.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::AtomicUsize;
+#[cfg(loom)]
+pub(crate) use loom::sync::{mpsc, Condvar, Mutex};
+#[cfg(loom)]
+pub(crate) use loom::thread;
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::AtomicUsize;
+#[cfg(not(loom))]
+pub(crate) use std::sync::{mpsc, Condvar, Mutex};
+#[cfg(not(loom))]
+pub(crate) use std::thread;

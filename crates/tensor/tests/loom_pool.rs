@@ -1,0 +1,83 @@
+//! Loom model checking of the pool's `JobBatch` dispatch/completion
+//! latch (`src/pool.rs`).
+//!
+//! Run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p bns-tensor --test loom_pool --release
+//! ```
+//!
+//! Under `--cfg loom` the pool's protocol state (claim counter,
+//! completion latch, dispatch channel, worker threads) resolves to the
+//! vendored loom shims, and each test below explores **every**
+//! interleaving of dispatcher and worker(s) — the proptests in
+//! `tests/parallel.rs` can only sample arrival orders; these prove the
+//! latch for the small configurations exhaustively.
+//!
+//! What the models verify, in every schedule:
+//! * each job index in `0..n_jobs` runs exactly once (no lost or
+//!   double-claimed jobs),
+//! * `run` does not return before every claimed job has completed (the
+//!   closure-borrow safety argument for the `f_static` transmute),
+//! * pool drop closes the channel and joins the worker (no deadlock,
+//!   no worker touching a dead batch).
+
+#![cfg(loom)]
+
+use bns_tensor::pool::ThreadPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `n_jobs` through a fresh 2-slot pool (1 worker + dispatcher)
+/// inside one loom execution, asserting exactly-once semantics and a
+/// completed latch before `run` returns.
+fn latch_model(n_jobs: usize) {
+    loom::model(move || {
+        let pool = ThreadPool::new(2);
+        // Real std atomics on purpose: the job body is not part of the
+        // protocol under test and must not add schedule points.
+        let hits: Vec<AtomicUsize> = (0..n_jobs).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(n_jobs, &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        // `run` returned: the latch must have seen every job.
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "job {i} ran != 1 times");
+        }
+        // Drop closes the dispatch channel and joins the worker; a
+        // schedule where the worker never exits would deadlock here
+        // and the explorer would report it.
+        drop(pool);
+    });
+    eprintln!(
+        "latch_model({n_jobs}): {} schedules explored",
+        loom::last_iteration_count()
+    );
+}
+
+#[test]
+fn latch_one_worker_two_jobs_exhaustive() {
+    latch_model(2);
+}
+
+#[test]
+fn latch_oversubscribed_three_jobs_exhaustive() {
+    // More jobs than execution slots: the claim loop must drain the
+    // queue without losing a job in any schedule.
+    latch_model(3);
+}
+
+#[test]
+fn idle_worker_pool_drops_cleanly() {
+    // A dispatch that never fans out (n_jobs = 1 runs inline): the
+    // worker must still be joinable in every schedule even though it
+    // never received a batch.
+    loom::model(|| {
+        let pool = ThreadPool::new(2);
+        let hit = AtomicUsize::new(0);
+        pool.run(1, &|_| {
+            hit.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+        drop(pool);
+    });
+}

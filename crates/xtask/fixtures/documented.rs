@@ -1,0 +1,7 @@
+//! Fixture: a properly documented unsafe site. Passes rule 1 but must
+//! be registered in the ledger (rule 2).
+
+// SAFETY: the caller guarantees `p` is valid for writes of one byte.
+pub unsafe fn zero(p: *mut u8) {
+    *p = 0;
+}

@@ -1,0 +1,8 @@
+//! Fixture: hash collections in a file configured as a kernel
+//! (rule 4 violation when listed in `AuditConfig::kernel_files`).
+
+use std::collections::HashMap;
+
+pub fn degree_sum(degrees: &HashMap<usize, usize>) -> usize {
+    degrees.values().sum()
+}

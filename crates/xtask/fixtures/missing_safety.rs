@@ -1,0 +1,7 @@
+//! Fixture: an unsafe block with no SAFETY comment (rule 1 violation).
+
+pub fn zero(p: *mut u8) {
+    unsafe {
+        *p = 0;
+    }
+}

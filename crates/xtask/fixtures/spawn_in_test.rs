@@ -1,0 +1,12 @@
+//! Fixture: thread spawning inside a `#[cfg(test)]` module — exempt
+//! from rule 3.
+
+pub fn fine() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helper_threads_are_allowed_in_tests() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: thread spawning outside the allowlist (rule 3 violation).
+
+pub fn leak_a_thread() {
+    std::thread::spawn(|| {});
+}

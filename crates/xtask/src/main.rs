@@ -1,0 +1,73 @@
+//! `cargo xtask` entry point (aliased in `.cargo/config.toml`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("audit") => {
+            let cfg = xtask::AuditConfig::for_repo(&workspace_root());
+            if args.iter().any(|a| a == "--bless") {
+                match xtask::bless(&cfg) {
+                    Ok(Ok(n)) => {
+                        println!(
+                            "blessed {} unsafe site(s) into {}",
+                            n,
+                            cfg.ledger_path.display()
+                        );
+                        ExitCode::SUCCESS
+                    }
+                    Ok(Err(blocking)) => {
+                        eprintln!("cannot bless while audit violations remain:");
+                        for v in &blocking {
+                            eprintln!("  {v}");
+                        }
+                        ExitCode::FAILURE
+                    }
+                    Err(e) => {
+                        eprintln!("audit failed to run: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            } else {
+                match xtask::audit(&cfg) {
+                    Ok(report) => {
+                        if report.violations.is_empty() {
+                            println!(
+                                "audit clean: {} files scanned, {} unsafe site(s), all \
+                                 documented and ledgered",
+                                report.files_scanned,
+                                report.sites.iter().map(|s| s.count).sum::<usize>()
+                            );
+                            ExitCode::SUCCESS
+                        } else {
+                            for v in &report.violations {
+                                eprintln!("{v}");
+                            }
+                            eprintln!("audit: {} violation(s)", report.violations.len());
+                            ExitCode::FAILURE
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("audit failed to run: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask audit [--bless]");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -5,6 +5,9 @@
 //! individual crates (`bns-gcn`, `bns-graph`, ...) for the actual library
 //! surface.
 
+// No unsafe here, enforced at compile time (the audited unsafe lives in
+// bns-tensor, bns-nn and the vendored loom shim; see UNSAFE_LEDGER.md).
+#![forbid(unsafe_code)]
 pub use bns_comm as comm;
 pub use bns_data as data;
 pub use bns_gcn as gcn;

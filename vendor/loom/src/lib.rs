@@ -1,0 +1,826 @@
+//! Offline shim of the `loom` model checker.
+//!
+//! The real `loom` crate explores thread interleavings under the C11
+//! memory model. This workspace builds fully offline (see
+//! `vendor/README.md`), so we vendor a small but honest replacement: an
+//! **exhaustive DFS scheduler** over a **sequentially-consistent**
+//! model.
+//!
+//! # What it does
+//!
+//! [`model`] runs a closure repeatedly. Inside the closure, the
+//! [`thread`] and [`sync`] shims route every *visible operation*
+//! (atomic access, mutex lock, condvar wait/notify, channel send/recv,
+//! spawn/join/yield) through a cooperative scheduler that serializes
+//! execution: exactly one thread runs at a time, and before each
+//! visible operation the scheduler picks which runnable thread goes
+//! next. The sequence of picks is explored depth-first until every
+//! schedule has been executed, so assertion failures, deadlocks and
+//! protocol bugs that depend on interleaving are found
+//! deterministically rather than probabilistically.
+//!
+//! # What it does *not* do
+//!
+//! * **Weak memory:** operations are explored under sequential
+//!   consistency; `Ordering` arguments are accepted and ignored. Bugs
+//!   that require observing `Relaxed`/`Acquire`-`Release` reordering
+//!   are out of scope (the real loom models these).
+//! * **Spurious condvar wakeups** are not modeled.
+//! * **Partial-order reduction:** none; keep models small (a handful
+//!   of threads, tens of visible operations). Exploration aborts with
+//!   a panic after [`MAX_ITERATIONS`] schedules instead of hanging CI.
+//!
+//! Determinism contract: the model closure must behave identically
+//! given the same schedule (no wall clock, no OS randomness) or replay
+//! fails with a "nondeterministic replay" panic.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+
+/// Hard cap on explored schedules; exceeding it panics so a state-space
+/// explosion surfaces as a test failure, not a CI timeout.
+pub const MAX_ITERATIONS: u64 = 1_000_000;
+
+/// Number of schedules explored by the most recent completed [`model`]
+/// call (for shim self-tests and curiosity).
+pub fn last_iteration_count() -> u64 {
+    LAST_ITERATIONS.load(StdOrdering::SeqCst)
+}
+
+static LAST_ITERATIONS: AtomicU64 = AtomicU64::new(0);
+
+// ---------------------------------------------------------------------------
+// Scheduler runtime
+// ---------------------------------------------------------------------------
+
+mod rt {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub(crate) enum TState {
+        Runnable,
+        Blocked(u64),
+        Finished,
+    }
+
+    pub(crate) struct Exec {
+        pub in_model: bool,
+        /// Monotonic run id; parked threads from a dead run never match
+        /// the current epoch and thus never resume user code.
+        pub epoch: u64,
+        pub active: usize,
+        pub threads: Vec<TState>,
+        pub prefix: Vec<usize>,
+        pub cursor: usize,
+        /// `(chosen index, number of runnable threads)` per decision.
+        pub choices: Vec<(usize, usize)>,
+        pub next_res: u64,
+        pub abort: Option<String>,
+    }
+
+    struct Rt {
+        m: StdMutex<Exec>,
+        cv: StdCondvar,
+    }
+
+    static RT: OnceLock<Rt> = OnceLock::new();
+
+    fn rt() -> &'static Rt {
+        RT.get_or_init(|| Rt {
+            m: StdMutex::new(Exec {
+                in_model: false,
+                epoch: 0,
+                active: 0,
+                threads: Vec::new(),
+                prefix: Vec::new(),
+                cursor: 0,
+                choices: Vec::new(),
+                next_res: 0,
+                abort: None,
+            }),
+            cv: StdCondvar::new(),
+        })
+    }
+
+    pub(crate) fn lock() -> StdMutexGuard<'static, Exec> {
+        // A panicking model thread may poison the lock; the state is
+        // still coherent for our purposes (we only read/replace it).
+        rt().m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    thread_local! {
+        /// `(epoch, tid)` of the controlled thread, if any.
+        static IDENT: Cell<Option<(u64, usize)>> = const { Cell::new(None) };
+    }
+
+    pub(crate) fn set_ident(epoch: u64, tid: usize) {
+        IDENT.with(|c| c.set(Some((epoch, tid))));
+    }
+
+    pub(crate) fn ident() -> (u64, usize) {
+        IDENT
+            .with(|c| c.get())
+            .unwrap_or_else(|| panic!("loom primitives may only be used inside loom::model"))
+    }
+
+    /// Picks the next thread to run and publishes the decision. Panics
+    /// (and aborts the whole run) on deadlock.
+    fn decide(g: &mut Exec) {
+        if let Some(msg) = &g.abort {
+            let msg = msg.clone();
+            panic!("{msg}");
+        }
+        let runnable: Vec<usize> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, TState::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            let live = g
+                .threads
+                .iter()
+                .filter(|t| !matches!(t, TState::Finished))
+                .count();
+            let msg = format!("loom: deadlock detected — all {live} live thread(s) are blocked");
+            g.abort = Some(msg.clone());
+            rt().cv.notify_all();
+            panic!("{msg}");
+        }
+        let idx = if g.cursor < g.prefix.len() {
+            let i = g.prefix[g.cursor];
+            assert!(
+                i < runnable.len(),
+                "loom: nondeterministic replay (planned choice {i} of {} runnable)",
+                runnable.len()
+            );
+            i
+        } else {
+            0
+        };
+        g.choices.push((idx, runnable.len()));
+        g.cursor += 1;
+        g.active = runnable[idx];
+        rt().cv.notify_all();
+    }
+
+    fn park_until_active(mut g: StdMutexGuard<'static, Exec>, epoch: u64, me: usize) {
+        loop {
+            if g.epoch != epoch {
+                // A previous run aborted and a new one started while we
+                // were parked; sleep forever rather than touch the new
+                // run's state (this OS thread is leaked, which only
+                // happens on already-failing tests).
+                g = rt().cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            if let Some(msg) = &g.abort {
+                let msg = msg.clone();
+                drop(g);
+                panic!("{msg}");
+            }
+            if g.active == me {
+                return;
+            }
+            g = rt().cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A visible operation is about to happen on the current thread:
+    /// give the scheduler a chance to run someone else first.
+    pub(crate) fn yield_point() {
+        let (epoch, me) = ident();
+        let mut g = lock();
+        assert!(g.in_model && g.epoch == epoch, "loom: stale model thread");
+        decide(&mut g);
+        park_until_active(g, epoch, me);
+    }
+
+    /// Blocks the current thread on resource `res` until some other
+    /// thread calls [`wake_all`]/[`wake_one`] for it.
+    pub(crate) fn block_on(res: u64) {
+        let (epoch, me) = ident();
+        let mut g = lock();
+        g.threads[me] = TState::Blocked(res);
+        decide(&mut g);
+        park_until_active(g, epoch, me);
+    }
+
+    /// Marks every thread blocked on `res` runnable (they actually run
+    /// at a later decision point).
+    pub(crate) fn wake_all(res: u64) {
+        let mut g = lock();
+        for t in g.threads.iter_mut() {
+            if matches!(t, TState::Blocked(r) if *r == res) {
+                *t = TState::Runnable;
+            }
+        }
+    }
+
+    /// Wakes the lowest-tid thread blocked on `res` (documented
+    /// determinism policy for `notify_one`).
+    pub(crate) fn wake_one(res: u64) {
+        let mut g = lock();
+        for t in g.threads.iter_mut() {
+            if matches!(t, TState::Blocked(r) if *r == res) {
+                *t = TState::Runnable;
+                return;
+            }
+        }
+    }
+
+    pub(crate) fn new_res_id() -> u64 {
+        let mut g = lock();
+        g.next_res += 1;
+        g.next_res
+    }
+
+    /// Registers a new controlled thread; returns `(epoch, tid)`.
+    pub(crate) fn register_thread() -> (u64, usize) {
+        let mut g = lock();
+        assert!(g.in_model, "loom: spawn outside loom::model");
+        g.threads.push(TState::Runnable);
+        (g.epoch, g.threads.len() - 1)
+    }
+
+    /// First park of a freshly spawned thread (before any user code).
+    pub(crate) fn initial_park(epoch: u64, me: usize) {
+        set_ident(epoch, me);
+        let g = lock();
+        park_until_active(g, epoch, me);
+    }
+
+    /// Resource id space for join-waits: `JOIN_BASE | tid`.
+    pub(crate) const JOIN_BASE: u64 = 1 << 62;
+
+    pub(crate) fn finish_thread() {
+        let (epoch, me) = ident();
+        let mut g = lock();
+        if g.epoch != epoch {
+            return;
+        }
+        g.threads[me] = TState::Finished;
+        for t in g.threads.iter_mut() {
+            if matches!(t, TState::Blocked(r) if *r == JOIN_BASE | me as u64) {
+                *t = TState::Runnable;
+            }
+        }
+        if g.abort.is_some() {
+            rt().cv.notify_all();
+            return;
+        }
+        decide(&mut g);
+    }
+
+    pub(crate) fn is_finished(tid: usize) -> bool {
+        matches!(lock().threads[tid], TState::Finished)
+    }
+
+    /// One full execution of the model closure under `prefix`.
+    pub(crate) fn run_once(f: &(dyn Fn() + Sync), prefix: &[usize]) -> Vec<(usize, usize)> {
+        let epoch = {
+            let mut g = lock();
+            assert!(
+                !g.in_model,
+                "loom: nested or concurrent loom::model calls are not supported"
+            );
+            let epoch = g.epoch + 1;
+            *g = Exec {
+                in_model: true,
+                epoch,
+                active: 0,
+                threads: vec![TState::Runnable],
+                prefix: prefix.to_vec(),
+                cursor: 0,
+                choices: Vec::new(),
+                next_res: 0,
+                abort: None,
+            };
+            epoch
+        };
+        set_ident(epoch, 0);
+        let res = catch_unwind(AssertUnwindSafe(f));
+        let (choices, live) = {
+            let mut g = lock();
+            g.threads[0] = TState::Finished;
+            g.in_model = false;
+            let live = g
+                .threads
+                .iter()
+                .filter(|t| !matches!(t, TState::Finished))
+                .count();
+            (std::mem::take(&mut g.choices), live)
+        };
+        IDENT.with(|c| c.set(None));
+        if let Err(p) = res {
+            resume_unwind(p);
+        }
+        assert!(
+            live == 0,
+            "loom: model closure returned with {live} unjoined live thread(s)"
+        );
+        choices
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public model entry point
+// ---------------------------------------------------------------------------
+
+/// Explores every schedule of `f` depth-first. Panics from any
+/// schedule (assertion failures, detected deadlocks) propagate to the
+/// caller with the offending schedule already minimal-prefix replayed.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync,
+{
+    // One exploration at a time: `#[test]`s run on parallel threads,
+    // and the scheduler state is process-global.
+    static MODEL_LOCK: StdMutex<()> = StdMutex::new(());
+    let _serial = MODEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= MAX_ITERATIONS,
+            "loom: exceeded {MAX_ITERATIONS} schedules — shrink the model"
+        );
+        let choices = rt::run_once(&f, &prefix);
+        // Backtrack: bump the deepest decision that still has an
+        // unexplored branch, drop everything after it.
+        let mut next: Option<Vec<usize>> = None;
+        for k in (0..choices.len()).rev() {
+            let (chosen, n) = choices[k];
+            if chosen + 1 < n {
+                let mut p: Vec<usize> = choices[..k].iter().map(|&(c, _)| c).collect();
+                p.push(chosen + 1);
+                next = Some(p);
+                break;
+            }
+        }
+        match next {
+            Some(p) => prefix = p,
+            None => break,
+        }
+    }
+    LAST_ITERATIONS.store(iterations, StdOrdering::SeqCst);
+}
+
+// ---------------------------------------------------------------------------
+// thread shim
+// ---------------------------------------------------------------------------
+
+/// Controlled replacement for `std::thread`.
+pub mod thread {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Handle to a controlled thread; `join` blocks the calling model
+    /// thread at a schedule point.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        slot: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+        os: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish, returning its result
+        /// (`Err` carries the thread's panic payload, as in std).
+        pub fn join(mut self) -> std::thread::Result<T> {
+            rt::yield_point();
+            loop {
+                if rt::is_finished(self.tid) {
+                    break;
+                }
+                rt::block_on(rt::JOIN_BASE | self.tid as u64);
+            }
+            // The controlled thread has passed its finish point; the OS
+            // thread exits immediately after, so this join is prompt.
+            if let Some(os) = self.os.take() {
+                let _ = os.join();
+            }
+            let out = self
+                .slot
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("loom: thread result taken twice");
+            out
+        }
+    }
+
+    /// Spawns a controlled thread running `f`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("loom spawn failed")
+    }
+
+    /// API-compatible subset of `std::thread::Builder` (the name is
+    /// accepted and ignored).
+    #[derive(Default)]
+    pub struct Builder {
+        _name: Option<String>,
+    }
+
+    impl Builder {
+        /// New builder with default settings.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Sets the (ignored) thread name.
+        pub fn name(mut self, name: String) -> Self {
+            self._name = Some(name);
+            self
+        }
+
+        /// Spawns a controlled thread running `f`.
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            let (epoch, tid) = rt::register_thread();
+            let slot: Arc<StdMutex<Option<std::thread::Result<T>>>> = Arc::new(StdMutex::new(None));
+            let slot2 = Arc::clone(&slot);
+            let os = std::thread::spawn(move || {
+                // The initial park runs inside the catch so that an
+                // abort raised while we are parked still reaches
+                // `finish_thread` and the run terminates cleanly.
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    rt::initial_park(epoch, tid);
+                    f()
+                }));
+                *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                rt::finish_thread();
+            });
+            // Let the scheduler consider running the child right away.
+            rt::yield_point();
+            Ok(JoinHandle {
+                tid,
+                slot,
+                os: Some(os),
+            })
+        }
+    }
+
+    /// A pure schedule point.
+    pub fn yield_now() {
+        rt::yield_point();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sync shim
+// ---------------------------------------------------------------------------
+
+/// Controlled replacements for `std::sync` types.
+pub mod sync {
+    use super::*;
+    use std::cell::UnsafeCell;
+    use std::collections::VecDeque;
+    use std::ops::{Deref, DerefMut};
+
+    pub use std::sync::Arc;
+
+    /// `std::sync::Mutex` replacement; every `lock` is a schedule
+    /// point and contention blocks through the scheduler.
+    pub struct Mutex<T: ?Sized> {
+        id: u64,
+        /// Real atomic (not a Cell): threads unwinding after an abort
+        /// may release guards concurrently, and the flag must stay
+        /// race-free even then.
+        locked: std::sync::atomic::AtomicBool,
+        data: UnsafeCell<T>,
+    }
+
+    // SAFETY: access to `data` only happens through a held guard while
+    // the owning thread holds the scheduler's execution token (exactly
+    // one model thread runs at a time), so there are no concurrent
+    // accesses despite the UnsafeCell interior mutability; `locked` is
+    // a real atomic.
+    unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+    // SAFETY: as above — the cooperative scheduler serializes every
+    // access to `data`, so `&Mutex<T>` may cross threads.
+    unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+    /// RAII lock guard; releasing is *not* a schedule point (waiters
+    /// become runnable and compete at the next decision).
+    pub struct MutexGuard<'a, T: ?Sized> {
+        lock: &'a Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// New unlocked mutex.
+        pub fn new(t: T) -> Self {
+            Self {
+                id: rt::new_res_id(),
+                locked: std::sync::atomic::AtomicBool::new(false),
+                data: UnsafeCell::new(t),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock, blocking through the scheduler. The
+        /// `Result` mirrors std's poisoning API but never errs.
+        pub fn lock(&self) -> Result<MutexGuard<'_, T>, std::convert::Infallible> {
+            rt::yield_point();
+            loop {
+                if !self.locked.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                    return Ok(MutexGuard { lock: self });
+                }
+                rt::block_on(self.id);
+            }
+        }
+
+        fn raw_unlock(&self) {
+            self.locked
+                .store(false, std::sync::atomic::Ordering::SeqCst);
+            rt::wake_all(self.id);
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            self.lock.raw_unlock();
+        }
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: the guard proves this thread holds the lock, and
+            // the scheduler serializes execution, so no other reference
+            // to the data exists while the guard is live.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: as in `deref` — exclusive by lock ownership plus
+            // serialized execution.
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    /// `std::sync::Condvar` replacement (no spurious wakeups;
+    /// `notify_one` wakes the lowest-tid waiter).
+    pub struct Condvar {
+        id: u64,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Condvar {
+        /// New condition variable.
+        pub fn new() -> Self {
+            Self {
+                id: rt::new_res_id(),
+            }
+        }
+
+        /// Atomically releases the guard's mutex and blocks until
+        /// notified, then re-acquires.
+        pub fn wait<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+        ) -> Result<MutexGuard<'a, T>, std::convert::Infallible> {
+            let lock = guard.lock;
+            // Release without a schedule point: the release and the
+            // transition to "waiting" are one atomic step, exactly the
+            // guarantee a real condvar gives.
+            std::mem::forget(guard);
+            lock.raw_unlock();
+            rt::block_on(self.id);
+            // Re-acquire; `lock` contains its own schedule point.
+            lock.lock()
+        }
+
+        /// Wakes every waiter.
+        pub fn notify_all(&self) {
+            rt::yield_point();
+            rt::wake_all(self.id);
+        }
+
+        /// Wakes the lowest-tid waiter.
+        pub fn notify_one(&self) {
+            rt::yield_point();
+            rt::wake_one(self.id);
+        }
+    }
+
+    /// Sequentially-consistent atomic shims: every access is a schedule
+    /// point; `Ordering` arguments are accepted and ignored.
+    pub mod atomic {
+        use super::super::rt;
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_shim {
+            ($name:ident, $std:ty, $t:ty) => {
+                /// Scheduler-instrumented atomic (SC semantics).
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    v: $std,
+                }
+
+                impl $name {
+                    /// New atomic with the given value.
+                    pub fn new(v: $t) -> Self {
+                        Self { v: <$std>::new(v) }
+                    }
+
+                    /// Schedule point, then load.
+                    pub fn load(&self, _o: Ordering) -> $t {
+                        rt::yield_point();
+                        self.v.load(Ordering::SeqCst)
+                    }
+
+                    /// Schedule point, then store.
+                    pub fn store(&self, val: $t, _o: Ordering) {
+                        rt::yield_point();
+                        self.v.store(val, Ordering::SeqCst)
+                    }
+
+                    /// Schedule point, then swap.
+                    pub fn swap(&self, val: $t, _o: Ordering) -> $t {
+                        rt::yield_point();
+                        self.v.swap(val, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        macro_rules! atomic_shim_arith {
+            ($name:ident, $t:ty) => {
+                impl $name {
+                    /// Schedule point, then fetch_add.
+                    pub fn fetch_add(&self, val: $t, _o: Ordering) -> $t {
+                        rt::yield_point();
+                        self.v.fetch_add(val, Ordering::SeqCst)
+                    }
+
+                    /// Schedule point, then fetch_sub.
+                    pub fn fetch_sub(&self, val: $t, _o: Ordering) -> $t {
+                        rt::yield_point();
+                        self.v.fetch_sub(val, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        atomic_shim!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        atomic_shim!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic_shim!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        atomic_shim!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        atomic_shim_arith!(AtomicUsize, usize);
+        atomic_shim_arith!(AtomicU64, u64);
+        atomic_shim_arith!(AtomicU32, u32);
+    }
+
+    /// `std::sync::mpsc` replacement: unbounded channel whose
+    /// send/recv are schedule points and whose blocking `recv` parks
+    /// through the scheduler.
+    pub mod mpsc {
+        use super::super::rt;
+        use super::*;
+
+        /// Error returned by `send` when the receiver is gone.
+        pub struct SendError<T>(pub T);
+
+        // Matches std: Debug without a `T: Debug` bound, so callers can
+        // `.expect()` sends of non-Debug payloads under either cfg.
+        impl<T> std::fmt::Debug for SendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("SendError(..)")
+            }
+        }
+
+        /// Error returned by `recv` when every sender is gone.
+        #[derive(Debug)]
+        pub struct RecvError;
+
+        struct Chan<T> {
+            id: u64,
+            inner: StdMutex<ChanInner<T>>,
+        }
+
+        struct ChanInner<T> {
+            q: VecDeque<T>,
+            senders: usize,
+            rx_alive: bool,
+        }
+
+        impl<T> Chan<T> {
+            fn inner(&self) -> StdMutexGuard<'_, ChanInner<T>> {
+                self.inner.lock().unwrap_or_else(|e| e.into_inner())
+            }
+        }
+
+        /// Sending half; clonable.
+        pub struct Sender<T> {
+            chan: Arc<Chan<T>>,
+        }
+
+        /// Receiving half.
+        pub struct Receiver<T> {
+            chan: Arc<Chan<T>>,
+        }
+
+        /// Creates a connected `(Sender, Receiver)` pair.
+        pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+            let chan = Arc::new(Chan {
+                id: rt::new_res_id(),
+                inner: StdMutex::new(ChanInner {
+                    q: VecDeque::new(),
+                    senders: 1,
+                    rx_alive: true,
+                }),
+            });
+            (
+                Sender {
+                    chan: Arc::clone(&chan),
+                },
+                Receiver { chan },
+            )
+        }
+
+        impl<T> Sender<T> {
+            /// Schedule point, then enqueue (wakes a parked receiver).
+            pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+                rt::yield_point();
+                {
+                    let mut inner = self.chan.inner();
+                    if !inner.rx_alive {
+                        return Err(SendError(t));
+                    }
+                    inner.q.push_back(t);
+                }
+                rt::wake_all(self.chan.id);
+                Ok(())
+            }
+        }
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Self {
+                self.chan.inner().senders += 1;
+                Sender {
+                    chan: Arc::clone(&self.chan),
+                }
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                let last = {
+                    let mut inner = self.chan.inner();
+                    inner.senders -= 1;
+                    inner.senders == 0
+                };
+                if last {
+                    // Wake a receiver parked in recv so it can observe
+                    // disconnection.
+                    rt::wake_all(self.chan.id);
+                }
+            }
+        }
+
+        impl<T> Receiver<T> {
+            /// Schedule point, then dequeue; parks until a message or
+            /// full disconnection.
+            pub fn recv(&self) -> Result<T, RecvError> {
+                rt::yield_point();
+                loop {
+                    {
+                        let mut inner = self.chan.inner();
+                        if let Some(v) = inner.q.pop_front() {
+                            return Ok(v);
+                        }
+                        if inner.senders == 0 {
+                            return Err(RecvError);
+                        }
+                    }
+                    rt::block_on(self.chan.id);
+                }
+            }
+        }
+
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                self.chan.inner().rx_alive = false;
+            }
+        }
+    }
+}
