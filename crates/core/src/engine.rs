@@ -1062,6 +1062,13 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
         bns_telemetry::counter_add("pool.jobs", stats.jobs);
     }
     bns_telemetry::counter_add("pool.threads", pool_threads as u64);
+    // SIMD kernel dispatches resolve on this (rank) thread, so the
+    // thread-local counts drained here cover every kernel this rank ran.
+    let simd_stats = bns_tensor::simd::take_thread_stats();
+    bns_telemetry::counter_add("simd.dispatch.scalar", simd_stats.scalar);
+    bns_telemetry::counter_add("simd.dispatch.sse2", simd_stats.sse2);
+    bns_telemetry::counter_add("simd.dispatch.avx2", simd_stats.avx2);
+    bns_telemetry::counter_add("simd.dispatch.neon", simd_stats.neon);
     arena.flush_counters();
 
     RankOutput {

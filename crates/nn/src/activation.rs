@@ -1,6 +1,13 @@
 //! Elementwise activation functions and their derivatives.
+//!
+//! Relu/LeakyRelu run through the [`bns_tensor::simd`] backend; the
+//! backward passes are fused single sweeps (multiply the upstream by
+//! the mask in place) instead of the former mask-matrix + hadamard
+//! two-pass, which allocated and swept twice per layer per step. Elu's
+//! `exp` has no vector form here, so it keeps scalar loops — but its
+//! backward is fused the same way.
 
-use bns_tensor::Matrix;
+use bns_tensor::{simd, Matrix};
 
 /// An elementwise activation applied after a layer's linear part.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,32 +24,61 @@ pub enum Activation {
 
 impl Activation {
     /// Applies the activation elementwise.
+    ///
+    /// Relu is an explicit `if v > 0 { v } else { 0.0 }` select on
+    /// every backend (NaN maps to `0.0`, like the former `max`, and
+    /// `-0.0` deterministically maps to `+0.0` — `f32::max` left that
+    /// sign unspecified).
     pub fn apply(&self, x: &Matrix) -> Matrix {
         match *self {
-            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Relu => {
+                let mut out = x.clone();
+                simd::relu(simd::begin_kernel(), out.as_mut_slice());
+                out
+            }
             Activation::Identity => x.clone(),
-            Activation::LeakyRelu(s) => x.map(|v| if v > 0.0 { v } else { s * v }),
+            Activation::LeakyRelu(s) => {
+                let mut out = x.clone();
+                simd::leaky_relu(simd::begin_kernel(), out.as_mut_slice(), s);
+                out
+            }
             Activation::Elu => x.map(|v| if v > 0.0 { v } else { v.exp() - 1.0 }),
         }
     }
 
     /// The derivative evaluated at pre-activation `x`, multiplied
     /// elementwise into `upstream` (i.e. the backward step).
+    ///
+    /// Single fused sweep: `upstream * mask(pre)` with the mask formed
+    /// in registers — the exact arithmetic of the old two-pass
+    /// mask-matrix + hadamard (so NaN upstream through a dead unit
+    /// still yields `NaN * 0.0 = NaN`), minus one allocation and one
+    /// full traversal.
     pub fn backward(&self, pre: &Matrix, upstream: &Matrix) -> Matrix {
         assert_eq!(pre.shape(), upstream.shape(), "activation backward shape");
         match *self {
             Activation::Identity => upstream.clone(),
             Activation::Relu => {
-                let mask = pre.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-                upstream.hadamard(&mask)
+                let mut out = upstream.clone();
+                simd::relu_backward(simd::begin_kernel(), out.as_mut_slice(), pre.as_slice());
+                out
             }
             Activation::LeakyRelu(s) => {
-                let mask = pre.map(|v| if v > 0.0 { 1.0 } else { s });
-                upstream.hadamard(&mask)
+                let mut out = upstream.clone();
+                simd::leaky_relu_backward(
+                    simd::begin_kernel(),
+                    out.as_mut_slice(),
+                    pre.as_slice(),
+                    s,
+                );
+                out
             }
             Activation::Elu => {
-                let mask = pre.map(|v| if v > 0.0 { 1.0 } else { v.exp() });
-                upstream.hadamard(&mask)
+                let mut out = upstream.clone();
+                for (o, &p) in out.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+                    *o *= if p > 0.0 { 1.0 } else { p.exp() };
+                }
+                out
             }
         }
     }

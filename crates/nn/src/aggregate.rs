@@ -12,7 +12,7 @@
 //! locally (the engine pre-scales received boundary rows by `1/p`).
 
 use bns_graph::CsrGraph;
-use bns_tensor::{pool, Matrix};
+use bns_tensor::{pool, simd, Matrix};
 
 /// A `*mut f32` the pool closures may carry across threads. Sound
 /// because every user writes only to a disjoint row range of the
@@ -140,6 +140,8 @@ pub fn scaled_sum_aggregate(g: &CsrGraph, h: &Matrix, n_out: usize, row_scale: &
     assert!(n_out <= g.num_nodes(), "n_out exceeds graph size");
     assert_eq!(row_scale.len(), n_out, "row_scale length mismatch");
     let d = h.cols();
+    let hd = h.as_slice();
+    let bk = simd::begin_kernel();
     let mut z = Matrix::zeros(n_out, d);
     let zptr = SendMutPtr(z.as_mut_slice().as_mut_ptr());
     pool::parallel_row_blocks(n_out, AGG_MIN_ROWS, &|v0, v1| {
@@ -147,16 +149,8 @@ pub fn scaled_sum_aggregate(g: &CsrGraph, h: &Matrix, n_out: usize, row_scale: &
         let zblock =
             unsafe { std::slice::from_raw_parts_mut(zptr.get().add(v0 * d), (v1 - v0) * d) };
         for (zr, v) in zblock.chunks_exact_mut(d).zip(v0..v1) {
-            for &u in g.neighbors(v) {
-                let hu = h.row(u as usize);
-                for (a, b) in zr.iter_mut().zip(hu) {
-                    *a += b;
-                }
-            }
-            let s = row_scale[v];
-            for a in zr.iter_mut() {
-                *a *= s;
-            }
+            simd::sum_rows(bk, zr, hd, d, g.neighbors(v), 0);
+            simd::scale(bk, zr, row_scale[v]);
         }
     });
     z
@@ -183,16 +177,13 @@ pub fn scaled_sum_aggregate_backward(
     assert!(n_rows_h >= g.num_nodes(), "output too small");
     assert_eq!(row_scale.len(), n_out, "row_scale length mismatch");
     let d = dz.cols();
+    let bk = simd::begin_kernel();
     blocked_scatter(n_out, n_rows_h, d, &|vs, dh| {
+        // One scaled-row scratch per block, not one allocation per `v`.
+        let mut dzv = vec![0.0f32; d];
         for v in vs {
-            let s = row_scale[v];
-            let dzv: Vec<f32> = dz.row(v).iter().map(|x| x * s).collect();
-            for &u in g.neighbors(v) {
-                let hr = dh.row_mut(u as usize);
-                for (a, b) in hr.iter_mut().zip(&dzv) {
-                    *a += b;
-                }
-            }
+            simd::scaled_copy(bk, &mut dzv, row_scale[v], dz.row(v));
+            simd::scatter_rows(bk, dh.as_mut_slice(), d, g.neighbors(v), &dzv);
         }
     })
 }
@@ -218,6 +209,8 @@ pub fn scaled_sum_aggregate_inner(g: &CsrGraph, h_inner: &Matrix, n_out: usize) 
     assert!(n_out <= h_inner.rows(), "n_out exceeds inner rows");
     let n_inner = h_inner.rows();
     let d = h_inner.cols();
+    let hd = h_inner.as_slice();
+    let bk = simd::begin_kernel();
     let mut z = Matrix::zeros(n_out, d);
     let zptr = SendMutPtr(z.as_mut_slice().as_mut_ptr());
     pool::parallel_row_blocks(n_out, AGG_MIN_ROWS, &|v0, v1| {
@@ -227,12 +220,7 @@ pub fn scaled_sum_aggregate_inner(g: &CsrGraph, h_inner: &Matrix, n_out: usize) 
         for (zr, v) in zblock.chunks_exact_mut(d).zip(v0..v1) {
             let nb = g.neighbors(v);
             let end = nb.partition_point(|&u| (u as usize) < n_inner);
-            for &u in &nb[..end] {
-                let hu = h_inner.row(u as usize);
-                for (a, b) in zr.iter_mut().zip(hu) {
-                    *a += b;
-                }
-            }
+            simd::sum_rows(bk, zr, hd, d, &nb[..end], 0);
         }
     });
     z
@@ -265,6 +253,8 @@ pub fn scaled_sum_fold_boundary(
         "boundary block too small"
     );
     let d = z.cols();
+    let hbd = h_bd.as_slice();
+    let bk = simd::begin_kernel();
     let zptr = SendMutPtr(z.as_mut_slice().as_mut_ptr());
     pool::parallel_row_blocks(n_out, AGG_MIN_ROWS, &|v0, v1| {
         // SAFETY: this block owns the disjoint target rows [v0, v1).
@@ -273,16 +263,8 @@ pub fn scaled_sum_fold_boundary(
         for (zr, v) in zblock.chunks_exact_mut(d).zip(v0..v1) {
             let nb = g.neighbors(v);
             let start = nb.partition_point(|&u| (u as usize) < n_inner);
-            for &u in &nb[start..] {
-                let hu = h_bd.row(u as usize - n_inner);
-                for (a, b) in zr.iter_mut().zip(hu) {
-                    *a += b;
-                }
-            }
-            let s = row_scale[v];
-            for a in zr.iter_mut() {
-                *a *= s;
-            }
+            simd::sum_rows(bk, zr, hbd, d, &nb[start..], n_inner);
+            simd::scale(bk, zr, row_scale[v]);
         }
     });
 }
@@ -301,6 +283,8 @@ pub fn gcn_aggregate_inner(g: &CsrGraph, h_inner: &Matrix, n_out: usize, s: &[f3
     assert!(n_out <= h_inner.rows(), "n_out exceeds inner rows");
     let n_inner = h_inner.rows();
     let d = h_inner.cols();
+    let hd = h_inner.as_slice();
+    let bk = simd::begin_kernel();
     let mut z = Matrix::zeros(n_out, d);
     let zptr = SendMutPtr(z.as_mut_slice().as_mut_ptr());
     pool::parallel_row_blocks(n_out, AGG_MIN_ROWS, &|v0, v1| {
@@ -310,13 +294,7 @@ pub fn gcn_aggregate_inner(g: &CsrGraph, h_inner: &Matrix, n_out: usize, s: &[f3
         for (zr, v) in zblock.chunks_exact_mut(d).zip(v0..v1) {
             let nb = g.neighbors(v);
             let end = nb.partition_point(|&u| (u as usize) < n_inner);
-            for &u in &nb[..end] {
-                let su = s[u as usize];
-                let hu = h_inner.row(u as usize);
-                for (a, b) in zr.iter_mut().zip(hu) {
-                    *a += su * b;
-                }
-            }
+            simd::sum_rows_scaled(bk, zr, hd, d, &nb[..end], 0, s);
         }
     });
     z
@@ -349,6 +327,8 @@ pub fn gcn_fold_boundary(
         "boundary block too small"
     );
     let d = z.cols();
+    let hbd = h_bd.as_slice();
+    let bk = simd::begin_kernel();
     let zptr = SendMutPtr(z.as_mut_slice().as_mut_ptr());
     pool::parallel_row_blocks(n_out, AGG_MIN_ROWS, &|v0, v1| {
         // SAFETY: this block owns the disjoint target rows [v0, v1).
@@ -357,18 +337,9 @@ pub fn gcn_fold_boundary(
         for (zr, v) in zblock.chunks_exact_mut(d).zip(v0..v1) {
             let nb = g.neighbors(v);
             let start = nb.partition_point(|&u| (u as usize) < n_inner);
-            for &u in &nb[start..] {
-                let su = s[u as usize];
-                let hu = h_bd.row(u as usize - n_inner);
-                for (a, b) in zr.iter_mut().zip(hu) {
-                    *a += su * b;
-                }
-            }
+            simd::sum_rows_scaled(bk, zr, hbd, d, &nb[start..], n_inner, s);
             let sv = s[v];
-            let hv = h_inner.row(v);
-            for (a, b) in zr.iter_mut().zip(hv) {
-                *a = sv * *a + sv * sv * b;
-            }
+            simd::scale_axpy(bk, zr, sv, sv * sv, h_inner.row(v));
         }
     });
 }
@@ -385,6 +356,8 @@ pub fn gcn_aggregate(g: &CsrGraph, h: &Matrix, n_out: usize, s: &[f32]) -> Matri
     assert!(n_out <= g.num_nodes(), "n_out exceeds graph size");
     assert!(s.len() >= g.num_nodes(), "scale vector too small");
     let d = h.cols();
+    let hd = h.as_slice();
+    let bk = simd::begin_kernel();
     let mut z = Matrix::zeros(n_out, d);
     let zptr = SendMutPtr(z.as_mut_slice().as_mut_ptr());
     pool::parallel_row_blocks(n_out, AGG_MIN_ROWS, &|v0, v1| {
@@ -392,18 +365,9 @@ pub fn gcn_aggregate(g: &CsrGraph, h: &Matrix, n_out: usize, s: &[f32]) -> Matri
         let zblock =
             unsafe { std::slice::from_raw_parts_mut(zptr.get().add(v0 * d), (v1 - v0) * d) };
         for (zr, v) in zblock.chunks_exact_mut(d).zip(v0..v1) {
-            for &u in g.neighbors(v) {
-                let su = s[u as usize];
-                let hu = h.row(u as usize);
-                for (a, b) in zr.iter_mut().zip(hu) {
-                    *a += su * b;
-                }
-            }
+            simd::sum_rows_scaled(bk, zr, hd, d, g.neighbors(v), 0, s);
             let sv = s[v];
-            let hv = h.row(v);
-            for (a, b) in zr.iter_mut().zip(hv) {
-                *a = sv * *a + sv * sv * b;
-            }
+            simd::scale_axpy(bk, zr, sv, sv * sv, h.row(v));
         }
     });
     z
@@ -416,25 +380,16 @@ pub fn gcn_aggregate_backward(g: &CsrGraph, dz: &Matrix, n_rows_h: usize, s: &[f
     assert!(n_rows_h >= g.num_nodes(), "output too small");
     assert!(s.len() >= g.num_nodes(), "scale vector too small");
     let d = dz.cols();
+    let bk = simd::begin_kernel();
     blocked_scatter(n_out, n_rows_h, d, &|vs, dh| {
+        // One scaled-row scratch per block, not one allocation per `v`.
+        let mut dzv = vec![0.0f32; d];
         for v in vs {
             let sv = s[v];
             // Self-loop term.
-            {
-                let dzv = dz.row(v);
-                let hr = dh.row_mut(v);
-                for (a, b) in hr.iter_mut().zip(dzv) {
-                    *a += sv * sv * b;
-                }
-            }
-            let dzv: Vec<f32> = dz.row(v).iter().map(|x| x * sv).collect();
-            for &u in g.neighbors(v) {
-                let su = s[u as usize];
-                let hr = dh.row_mut(u as usize);
-                for (a, b) in hr.iter_mut().zip(&dzv) {
-                    *a += su * b;
-                }
-            }
+            simd::axpy(bk, dh.row_mut(v), sv * sv, dz.row(v));
+            simd::scaled_copy(bk, &mut dzv, sv, dz.row(v));
+            simd::scatter_rows_scaled(bk, dh.as_mut_slice(), d, g.neighbors(v), &dzv, s);
         }
     })
 }

@@ -14,7 +14,7 @@
 use crate::activation::Activation;
 use crate::layers::dropout;
 use bns_graph::CsrGraph;
-use bns_tensor::{xavier_uniform, Matrix, SeededRng};
+use bns_tensor::{simd, xavier_uniform, Matrix, SeededRng};
 
 /// Single-head GAT layer parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,11 +118,15 @@ impl GatLayer {
         let er: Vec<f32> = (0..g_mat.rows())
             .map(|r| dot(g_mat.row(r), self.a_r.row(0)))
             .collect();
+        let bk = simd::begin_kernel();
         let mut offsets = Vec::with_capacity(n_out + 1);
         offsets.push(0usize);
         let mut nbr: Vec<u32> = Vec::new();
         let mut pre_att: Vec<f32> = Vec::new();
         let mut alpha: Vec<f32> = Vec::new();
+        // Softmax scratch reused across targets (one allocation per
+        // forward, not one per node).
+        let mut exps: Vec<f32> = Vec::new();
         let mut z = Matrix::zeros(n_out, d_out);
         for v in 0..n_out {
             let start = nbr.len();
@@ -137,7 +141,8 @@ impl GatLayer {
             let scores = &pre_att[start..];
             let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut denom = 0.0f32;
-            let exps: Vec<f32> = scores.iter().map(|&s| (s - max).exp()).collect();
+            exps.clear();
+            exps.extend(scores.iter().map(|&s| (s - max).exp()));
             for &e in &exps {
                 denom += e;
             }
@@ -145,10 +150,7 @@ impl GatLayer {
             for (i, &e) in exps.iter().enumerate() {
                 let a = e / denom;
                 alpha.push(a);
-                let gu = g_mat.row(nbr[start + i] as usize);
-                for (o, x) in zr.iter_mut().zip(gu) {
-                    *o += a * x;
-                }
+                simd::axpy(bk, zr, a, g_mat.row(nbr[start + i] as usize));
             }
             offsets.push(nbr.len());
         }
@@ -174,16 +176,20 @@ impl GatLayer {
     pub fn backward(&self, cache: &GatCache, d_out: &Matrix) -> (Matrix, GatGrads) {
         assert_eq!(d_out.rows(), cache.n_out, "d_out row mismatch");
         let dz = self.act.backward(&cache.z, d_out);
+        let bk = simd::begin_kernel();
         let d_feat = self.w.cols();
         let n_rows = cache.g_mat.rows();
         let mut dg = Matrix::zeros(n_rows, d_feat);
         let mut da_l = vec![0.0f32; d_feat];
         let mut da_r = vec![0.0f32; d_feat];
+        // dα scratch reused across targets.
+        let mut dalpha: Vec<f32> = Vec::new();
         for v in 0..cache.n_out {
             let (s, e) = (cache.offsets[v], cache.offsets[v + 1]);
             let dzv = dz.row(v);
             // dα for each edge and the softmax correction term.
-            let mut dalpha = vec![0.0f32; e - s];
+            dalpha.clear();
+            dalpha.resize(e - s, 0.0);
             let mut corr = 0.0f32;
             for (i, idx) in (s..e).enumerate() {
                 let u = cache.nbr[idx] as usize;
@@ -191,37 +197,17 @@ impl GatLayer {
                 dalpha[i] = da;
                 corr += cache.alpha[idx] * da;
                 // z-path gradient into g_u.
-                let row = dg.row_mut(u);
-                let a = cache.alpha[idx];
-                for (o, &x) in row.iter_mut().zip(dzv) {
-                    *o += a * x;
-                }
+                simd::axpy(bk, dg.row_mut(u), cache.alpha[idx], dzv);
             }
             for (i, idx) in (s..e).enumerate() {
                 let u = cache.nbr[idx] as usize;
                 let ds = cache.alpha[idx] * (dalpha[i] - corr);
                 let dpre = ds * self.leaky_d_from_value(cache.pre_att[idx]);
                 // pre = a_l · g_u + a_r · g_v (then leaky).
-                let gu = cache.g_mat.row(u);
-                let gv = cache.g_mat.row(v);
-                for j in 0..d_feat {
-                    da_l[j] += dpre * gu[j];
-                    da_r[j] += dpre * gv[j];
-                }
-                {
-                    let row = dg.row_mut(u);
-                    let al = self.a_l.row(0);
-                    for j in 0..d_feat {
-                        row[j] += dpre * al[j];
-                    }
-                }
-                {
-                    let row = dg.row_mut(v);
-                    let ar = self.a_r.row(0);
-                    for j in 0..d_feat {
-                        row[j] += dpre * ar[j];
-                    }
-                }
+                simd::axpy(bk, &mut da_l, dpre, cache.g_mat.row(u));
+                simd::axpy(bk, &mut da_r, dpre, cache.g_mat.row(v));
+                simd::axpy(bk, dg.row_mut(u), dpre, self.a_l.row(0));
+                simd::axpy(bk, dg.row_mut(v), dpre, self.a_r.row(0));
             }
         }
         let grads = GatGrads {

@@ -1,5 +1,6 @@
 //! Optimizers. The paper uses Adam everywhere.
 
+use bns_tensor::simd::{self, AdamHyper};
 use bns_tensor::Matrix;
 
 /// The Adam optimizer (Kingma & Ba) with optional weight decay.
@@ -75,8 +76,16 @@ impl Adam {
         }
         assert_eq!(self.m.len(), params.len(), "parameter count changed");
         self.t += 1;
-        let b1t = 1.0 - self.beta1.powi(self.t as i32);
-        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let hyper = AdamHyper {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            weight_decay: self.weight_decay,
+            b1t: 1.0 - self.beta1.powi(self.t as i32),
+            b2t: 1.0 - self.beta2.powi(self.t as i32),
+        };
+        let bk = simd::begin_kernel();
         for ((p, g), (m, v)) in params
             .iter_mut()
             .zip(grads)
@@ -88,18 +97,17 @@ impl Adam {
                 m.shape(),
                 "parameter shape differs from first-call shape"
             );
-            let pd = p.as_mut_slice();
-            let gd = g.as_slice();
-            let md = m.as_mut_slice();
-            let vd = v.as_mut_slice();
-            for i in 0..pd.len() {
-                let gi = gd[i] + self.weight_decay * pd[i];
-                md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * gi;
-                vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * gi * gi;
-                let mhat = md[i] / b1t;
-                let vhat = vd[i] / b2t;
-                pd[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
-            }
+            // `div`/`sqrt` are correctly rounded on every backend, so
+            // the vectorized update is bitwise identical to the scalar
+            // expression sequence.
+            simd::adam_update(
+                bk,
+                p.as_mut_slice(),
+                g.as_slice(),
+                m.as_mut_slice(),
+                v.as_mut_slice(),
+                &hyper,
+            );
         }
     }
 }

@@ -24,6 +24,7 @@ use bns_nn::aggregate::{
     scaled_sum_fold_boundary,
 };
 use bns_tensor::pool::{self, ThreadPool};
+use bns_tensor::simd::{self, Backend};
 use bns_tensor::{Matrix, SeededRng};
 
 /// Node count: enough rows to split into several parallel blocks at
@@ -104,4 +105,51 @@ fn segmented_inner_plus_fold_matches_fused_kernels() {
 
     assert!(p.stats().parallel_dispatches > 0);
     drop(guard);
+}
+
+/// The aggregate kernels through the SIMD dispatch layer under Miri:
+/// every available vector backend must reproduce the forced-scalar
+/// result bitwise (SSE2 is statically guaranteed on x86_64, so the
+/// intrinsic gather/scatter paths run even under the interpreter), and
+/// the forced dispatches must land on that backend's `DispatchStats`
+/// counter.
+#[test]
+fn simd_aggregates_dispatch_and_match_scalar_bitwise() {
+    let mut rng = SeededRng::new(17);
+    let g = erdos_renyi_m(N, 3 * N, &mut rng);
+    let h = Matrix::random_normal(N, D, 0.0, 1.0, &mut rng);
+    let scale: Vec<f32> = (0..N).map(|_| rng.uniform_range(0.1, 2.0)).collect();
+
+    let _ = simd::take_thread_stats();
+    let (fwd_s, bwd_s) = {
+        let _f = simd::force(Backend::Scalar);
+        let fwd = scaled_sum_aggregate(&g, &h, N, &scale);
+        let bwd = gcn_aggregate_backward(&g, &fwd, N, &scale);
+        (fwd, bwd)
+    };
+    let scalar_dispatches = simd::thread_stats().get(Backend::Scalar);
+    assert!(
+        scalar_dispatches >= 2,
+        "forward + backward must both dispatch, got {scalar_dispatches}"
+    );
+
+    for bk in Backend::ALL
+        .into_iter()
+        .filter(|bk| *bk != Backend::Scalar && bk.is_available())
+    {
+        let before = simd::thread_stats().get(bk);
+        let _f = simd::force(bk);
+        let _p = pool::install(ThreadPool::new(3));
+        let fwd = scaled_sum_aggregate(&g, &h, N, &scale);
+        let bwd = gcn_aggregate_backward(&g, &fwd, N, &scale);
+        assert_eq!(fwd, fwd_s, "{} forward vs scalar", bk.name());
+        assert_eq!(bwd, bwd_s, "{} backward vs scalar", bk.name());
+        assert!(
+            simd::thread_stats().get(bk) - before >= 2,
+            "forced {} dispatches must count on its own slot",
+            bk.name()
+        );
+    }
+    let _ = simd::take_thread_stats();
+    assert_eq!(simd::thread_stats().total(), 0, "drain resets the stats");
 }

@@ -9,9 +9,11 @@
 //! initialization, dropout and sampling.
 //!
 //! The hot kernels run on a scoped, `std::thread`-only worker pool
-//! ([`pool`]) when one is installed on the calling thread; results are
-//! bitwise identical at any thread count (see the module docs for the
-//! determinism argument).
+//! ([`pool`]) when one is installed on the calling thread, and their
+//! inner loops go through the runtime-dispatched SIMD backend
+//! ([`simd`], AVX2/SSE2/NEON with a scalar fallback, `BNS_SIMD`
+//! override); results are bitwise identical at any thread count *and*
+//! any lane width (see the module docs for the determinism arguments).
 //!
 //! # Example
 //!
@@ -29,6 +31,7 @@ mod init;
 mod matrix;
 pub mod pool;
 mod rng;
+pub mod simd;
 mod sync;
 
 pub use init::{kaiming_uniform, xavier_uniform};

@@ -216,12 +216,14 @@ impl Matrix {
     ///
     /// Row-blocked over the installed [`crate::pool`] (serial when no
     /// pool is installed or the product is small) with a cache-blocked
-    /// i-k-j inner kernel. Every output element is accumulated in
-    /// ascending-`k` order by exactly one thread, so the result is
-    /// bitwise identical at any thread count. Unlike the earlier
-    /// scalar kernel there is **no** skip of zero entries: `0 * NaN`
-    /// must stay `NaN` (IEEE 754), so divergence in either operand
-    /// always propagates to the product.
+    /// i-k-j inner kernel dispatched through [`crate::simd`]. Every
+    /// output element is accumulated in ascending-`k` order by exactly
+    /// one thread, vectorized across output *columns* with no FMA, so
+    /// the result is bitwise identical at any thread count and any
+    /// SIMD lane width. Unlike the earlier scalar kernel there is
+    /// **no** skip of zero entries: `0 * NaN` must stay `NaN`
+    /// (IEEE 754), so divergence in either operand always propagates
+    /// to the product.
     ///
     /// # Panics
     ///
@@ -232,18 +234,25 @@ impl Matrix {
             "matmul: {}x{} * {}x{} shape mismatch",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let n = rhs.cols;
+        self.mm_nn(rhs.cols, &rhs.data)
+    }
+
+    /// The shared NN-layout product core: `self * B` where `B` is a
+    /// flat row-major `self.cols x n` buffer. The SIMD backend is
+    /// resolved once here, on the calling thread, and handed to the
+    /// pool closures (worker threads never consult dispatch state).
+    fn mm_nn(&self, n: usize, b: &[f32]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, n);
         let kd = self.cols;
         let a = &self.data;
-        let b = &rhs.data;
+        let bk = crate::simd::begin_kernel();
         let min_rows = par_min_rows(self.rows, kd * n);
         let optr = SendMutPtr(out.data.as_mut_ptr());
         crate::pool::parallel_row_blocks(self.rows, min_rows, &|i0, i1| {
             // SAFETY: each block owns the disjoint output rows [i0, i1).
             let oblock =
                 unsafe { std::slice::from_raw_parts_mut(optr.get().add(i0 * n), (i1 - i0) * n) };
-            mm_nn_block(&a[i0 * kd..i1 * kd], b, oblock, kd, n);
+            crate::simd::mm_nn_block(bk, &a[i0 * kd..i1 * kd], b, oblock, kd, n);
         });
         out
     }
@@ -252,7 +261,9 @@ impl Matrix {
     ///
     /// Parallel over blocks of output rows (= columns of `self`); the
     /// per-element accumulation order is ascending over `self`'s rows
-    /// regardless of blocking, so results are bitwise deterministic.
+    /// regardless of blocking or lane width (the [`crate::simd`]
+    /// kernel vectorizes across output columns), so results are
+    /// bitwise deterministic.
     ///
     /// # Panics
     ///
@@ -269,30 +280,28 @@ impl Matrix {
         let rows = self.rows;
         let a = &self.data;
         let b = &rhs.data;
+        let bk = crate::simd::begin_kernel();
         let min_rows = par_min_rows(kd, rows * n);
         let optr = SendMutPtr(out.data.as_mut_ptr());
         crate::pool::parallel_row_blocks(kd, min_rows, &|i0, i1| {
             // SAFETY: disjoint output rows [i0, i1) per block.
             let oblock =
                 unsafe { std::slice::from_raw_parts_mut(optr.get().add(i0 * n), (i1 - i0) * n) };
-            for r in 0..rows {
-                let arow = &a[r * kd..(r + 1) * kd];
-                let brow = &b[r * n..(r + 1) * n];
-                for (orow, &av) in oblock.chunks_exact_mut(n).zip(&arow[i0..i1]) {
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-            }
+            crate::simd::mm_tn_block(bk, a, b, oblock, (i0, i1), kd, n);
         });
         out
     }
 
-    /// `self * rhs^T` without materializing the transpose.
-    ///
-    /// Parallel over blocks of output rows; each element is a single
-    /// ascending-`k` dot product, bitwise deterministic at any thread
-    /// count.
+    /// `self * rhs^T`, computed as one explicit `rhs` transpose
+    /// followed by the shared NN kernel: with `rhs^T` materialized the
+    /// inner loop reads contiguous rows and vectorizes across output
+    /// columns, where the old fused dot-product walked `rhs` with a
+    /// lane-hostile stride. Each output element still accumulates its
+    /// products in ascending-`k` order starting from `0.0` — the exact
+    /// float sequence of the former `acc += x * y` loop — so results
+    /// are bitwise unchanged and deterministic at any thread count and
+    /// lane width. The transpose is a one-off `O(k·n)` copy against an
+    /// `O(m·k·n)` product.
     ///
     /// # Panics
     ///
@@ -303,29 +312,8 @@ impl Matrix {
             "matmul_nt: {}x{} * {}x{} ^T shape mismatch",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        let n = rhs.rows;
-        let kd = self.cols;
-        let a = &self.data;
-        let b = &rhs.data;
-        let min_rows = par_min_rows(self.rows, kd * n);
-        let optr = SendMutPtr(out.data.as_mut_ptr());
-        crate::pool::parallel_row_blocks(self.rows, min_rows, &|i0, i1| {
-            // SAFETY: disjoint output rows [i0, i1) per block.
-            let oblock =
-                unsafe { std::slice::from_raw_parts_mut(optr.get().add(i0 * n), (i1 - i0) * n) };
-            for (orow, i) in oblock.chunks_exact_mut(n).zip(i0..i1) {
-                let arow = &a[i * kd..(i + 1) * kd];
-                for (o, brow) in orow.iter_mut().zip(b.chunks_exact(kd)) {
-                    let mut acc = 0.0f32;
-                    for (&x, &y) in arow.iter().zip(brow) {
-                        acc += x * y;
-                    }
-                    *o = acc;
-                }
-            }
-        });
-        out
+        let bt = rhs.transpose();
+        self.mm_nn(rhs.rows, &bt.data)
     }
 
     /// The transpose as a new matrix.
@@ -346,9 +334,7 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += b;
-        }
+        crate::simd::add_assign(crate::simd::begin_kernel(), &mut self.data, &rhs.data);
     }
 
     /// Elementwise in-place `self += alpha * rhs`.
@@ -358,9 +344,12 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += alpha * b;
-        }
+        crate::simd::axpy(
+            crate::simd::begin_kernel(),
+            &mut self.data,
+            alpha,
+            &rhs.data,
+        );
     }
 
     /// Elementwise in-place `self -= rhs`.
@@ -370,16 +359,12 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn sub_assign(&mut self, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "sub_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
-            *a -= b;
-        }
+        crate::simd::sub_assign(crate::simd::begin_kernel(), &mut self.data, &rhs.data);
     }
 
     /// In-place scaling by a scalar.
     pub fn scale(&mut self, s: f32) {
-        for a in &mut self.data {
-            *a *= s;
-        }
+        crate::simd::scale(crate::simd::begin_kernel(), &mut self.data, s);
     }
 
     /// Elementwise (Hadamard) product as a new matrix.
@@ -389,13 +374,9 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(a, b)| a * b)
-            .collect();
-        Matrix::from_vec(self.rows, self.cols, data)
+        let mut out = self.clone();
+        crate::simd::hadamard_assign(crate::simd::begin_kernel(), &mut out.data, &rhs.data);
+        out
     }
 
     /// Adds a length-`cols` row vector to every row (bias broadcast).
@@ -405,11 +386,10 @@ impl Matrix {
     /// Panics if `bias.len() != self.cols()`.
     pub fn add_row_broadcast(&mut self, bias: &[f32]) {
         assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        let bk = crate::simd::begin_kernel();
         for r in 0..self.rows {
             let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
-            for (x, b) in row.iter_mut().zip(bias) {
-                *x += b;
-            }
+            crate::simd::add_assign(bk, row, bias);
         }
     }
 
@@ -432,6 +412,10 @@ impl Matrix {
     /// Gathers the given rows into a new matrix (`out.row(i) =
     /// self.row(idx[i])`).
     ///
+    /// Stays a plain `copy_from_slice` per row: a pure memcpy is
+    /// already the optimal (and trivially bitwise-exact) form, so it
+    /// is not routed through [`crate::simd`].
+    ///
     /// # Panics
     ///
     /// Panics if any index is out of bounds.
@@ -453,12 +437,11 @@ impl Matrix {
     pub fn scatter_add_rows(&mut self, idx: &[usize], src: &Matrix) {
         assert_eq!(idx.len(), src.rows, "scatter_add_rows: index/src mismatch");
         assert_eq!(self.cols, src.cols, "scatter_add_rows: column mismatch");
+        let bk = crate::simd::begin_kernel();
         for (i, &r) in idx.iter().enumerate() {
             assert!(r < self.rows, "scatter_add_rows: index {r} out of bounds");
             let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
-            for (d, s) in dst.iter_mut().zip(src.row(i)) {
-                *d += s;
-            }
+            crate::simd::add_assign(bk, dst, src.row(i));
         }
     }
 
@@ -503,15 +486,14 @@ impl Matrix {
             idx.len() * self.cols,
             "scatter_add_rows_slice: src length mismatch"
         );
+        let bk = crate::simd::begin_kernel();
         for (i, &r) in idx.iter().enumerate() {
             assert!(
                 r < self.rows,
                 "scatter_add_rows_slice: index {r} out of bounds"
             );
             let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
-            for (d, s) in dst.iter_mut().zip(&src[i * self.cols..(i + 1) * self.cols]) {
-                *d += s;
-            }
+            crate::simd::add_assign(bk, dst, &src[i * self.cols..(i + 1) * self.cols]);
         }
     }
 
@@ -638,11 +620,6 @@ impl SendMutPtr {
     }
 }
 
-/// Depth-blocking factor for the NN kernel: a `MM_KC x cols` panel of
-/// the right-hand operand is reused across every row of a block while
-/// it is hot in cache.
-const MM_KC: usize = 128;
-
 /// Minimum FLOPs-per-element budget below which a matmul stays serial
 /// (fan-out costs more than it saves on tiny products).
 #[cfg(not(miri))]
@@ -660,29 +637,6 @@ fn par_min_rows(rows: usize, work_per_row: usize) -> usize {
         return 1;
     }
     PAR_MIN_WORK.div_ceil(work_per_row.max(1)).max(1)
-}
-
-/// The i-k-j inner kernel for `matmul` on one block of output rows:
-/// `out[i] += a[i][k] * b[k]` with `k` tiled in [`MM_KC`] panels. The
-/// per-element accumulation order is ascending `k` (panels ascend,
-/// `k` ascends within a panel), identical to the untiled loop.
-fn mm_nn_block(a_block: &[f32], b: &[f32], out_block: &mut [f32], kd: usize, n: usize) {
-    let block_rows = out_block.len() / n.max(1);
-    let mut kb = 0;
-    while kb < kd {
-        let kend = (kb + MM_KC).min(kd);
-        for i in 0..block_rows {
-            let arow = &a_block[i * kd + kb..i * kd + kend];
-            let orow = &mut out_block[i * n..(i + 1) * n];
-            for (k, &av) in arow.iter().enumerate() {
-                let brow = &b[(kb + k) * n..(kb + k + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
-        kb = kend;
-    }
 }
 
 impl std::ops::Index<(usize, usize)> for Matrix {

@@ -1,0 +1,1387 @@
+//! Runtime-dispatched SIMD backend for the f32 kernels.
+//!
+//! Every hot loop in the workspace (dense matmul, neighbor aggregation,
+//! activations, Adam) funnels through the kernels in this module, which
+//! pick a lane width at runtime: AVX2 (8 lanes) or SSE2 (4) on x86_64,
+//! NEON (4) on aarch64, and a scalar fallback everywhere. The choice is
+//! made once per process from CPU feature detection, overridable with
+//! the `BNS_SIMD` environment variable (mirroring `BNS_THREADS` from
+//! [`crate::pool`]): `scalar`, `sse2`, `avx2`, `neon`, or `auto`.
+//!
+//! # Determinism contract
+//!
+//! Results are **bitwise identical at every lane width**, extending the
+//! thread-count invariance established by the pool. Two rules make this
+//! hold:
+//!
+//! * **Reduction order is never changed.** Kernels vectorize across
+//!   *independent output elements* (matmul rows broadcast one `a[i][k]`
+//!   across contiguous output columns; elementwise ops are lane-local),
+//!   so each output element still accumulates its `k` terms in exactly
+//!   the scalar program order. No horizontal adds, no per-lane partial
+//!   accumulators.
+//! * **No FMA, ever.** A fused multiply-add rounds once where `mul`
+//!   then `add` rounds twice, so `a*b+c` would differ in the last ulp
+//!   between backends. Every kernel multiplies and adds as separate
+//!   correctly-rounded IEEE 754 ops (`cargo xtask audit` bans FMA
+//!   intrinsics in kernel files). `div` and `sqrt` are also correctly
+//!   rounded on every supported ISA, so the Adam kernel is exact too.
+//!
+//! One caveat: when an add or mul combines **two NaNs with different
+//! payloads** (e.g. an injected `f32::NAN` meeting the `0xFFC00000`
+//! NaN that `inf * 0.0` generates), which payload survives is
+//! unspecified in Rust — LLVM may commute the operands differently per
+//! backend. All NaNs of a single payload propagate bit-identically, so
+//! the contract holds for every input that does not mix NaN payloads;
+//! training never produces mixed payloads (the kernels have no inf
+//! constants and quiet all NaNs to the canonical payload on the ReLU
+//! path).
+//!
+//! # Composition with the pool
+//!
+//! The backend is resolved **once at each top-level kernel entry** (on
+//! the calling thread, where a [`force`] override is visible) and the
+//! resulting [`Backend`] value is passed into the pool closures — worker
+//! threads never consult thread-local state. Threads × lanes compose:
+//! the pool splits output rows, the lanes split each row.
+//!
+//! # Telemetry
+//!
+//! Top-level kernel entries call [`begin_kernel`], which counts the
+//! dispatch per backend in a thread-local [`DispatchStats`]; the engine
+//! drains it per rank with [`take_thread_stats`] into the
+//! `simd.dispatch.*` counters.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Environment variable naming the backend (`scalar`, `sse2`, `avx2`,
+/// `neon`, or `auto`). Unknown or unavailable values fall back to
+/// [`detect`], like an absent variable.
+pub const ENV_SIMD: &str = "BNS_SIMD";
+
+/// Depth-blocking factor for the NN matmul kernel: an `MM_KC x cols`
+/// panel of the right-hand operand is reused across every row of a
+/// block while it is hot in cache. Panels ascend and `k` ascends within
+/// a panel, so the per-element accumulation order is plain ascending
+/// `k` — identical to the untiled loop.
+pub(crate) const MM_KC: usize = 128;
+
+/// A SIMD instruction set the kernels can dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Backend {
+    /// Plain scalar f32 loops — always available, the reference.
+    Scalar,
+    /// 4-lane x86_64 (baseline on every x86_64 target).
+    Sse2,
+    /// 8-lane x86_64.
+    Avx2,
+    /// 4-lane aarch64 (baseline on every aarch64 target).
+    Neon,
+}
+
+impl Backend {
+    /// All variants, best-first within each architecture.
+    pub const ALL: [Backend; 4] = [Backend::Neon, Backend::Avx2, Backend::Sse2, Backend::Scalar];
+
+    /// The `BNS_SIMD` spelling of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Sse2 => "sse2",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+
+    /// f32 lanes per vector op.
+    pub fn lanes(self) -> usize {
+        match self {
+            Backend::Scalar => 1,
+            Backend::Sse2 | Backend::Neon => 4,
+            Backend::Avx2 => 8,
+        }
+    }
+
+    /// Parses a `BNS_SIMD` value (case-insensitive). `None` for
+    /// unknown spellings — [`resolve`] maps those to [`detect`].
+    pub fn parse(s: &str) -> Option<Backend> {
+        Backend::ALL
+            .into_iter()
+            .find(|bk| s.eq_ignore_ascii_case(bk.name()))
+    }
+
+    /// Whether this CPU can execute the backend. `Scalar` always can;
+    /// baseline features (SSE2 on x86_64, NEON on aarch64) short-cut
+    /// through compile-time knowledge so the check also holds under
+    /// interpreters that report no runtime features (Miri).
+    pub fn is_available(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Sse2 => cfg!(target_feature = "sse2") || is_x86_feature_detected!("sse2"),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => true,
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+
+    /// Panics unless the backend can run on this CPU. Every dispatched
+    /// kernel funnels through this, which is what makes the public
+    /// kernel functions sound: an unavailable `Backend` value aborts
+    /// before any intrinsic executes.
+    fn checked(self) -> Backend {
+        assert!(
+            self.is_available(),
+            "SIMD backend `{}` is not available on this CPU (set {ENV_SIMD}=auto)",
+            self.name()
+        );
+        self
+    }
+}
+
+/// The best backend this CPU supports.
+pub fn detect() -> Backend {
+    static CACHE: OnceLock<Backend> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        Backend::ALL
+            .into_iter()
+            .find(|bk| bk.is_available())
+            .unwrap_or(Backend::Scalar)
+    })
+}
+
+/// Resolves a `BNS_SIMD` request to a usable backend: absent / empty /
+/// `auto` / unknown / unavailable all yield [`detect`]; a recognized,
+/// available name is honored (including forcing `scalar` or `sse2` on
+/// an AVX2 host). Pure in its argument, so tests can cover the whole
+/// table without touching the process environment.
+pub fn resolve(request: Option<&str>) -> Backend {
+    match request.map(str::trim) {
+        None | Some("") => detect(),
+        Some(s) if s.eq_ignore_ascii_case("auto") => detect(),
+        Some(s) => match Backend::parse(s) {
+            Some(bk) if bk.is_available() => bk,
+            _ => detect(),
+        },
+    }
+}
+
+fn default_backend() -> Backend {
+    static DEFAULT: OnceLock<Backend> = OnceLock::new();
+    *DEFAULT.get_or_init(|| resolve(std::env::var(ENV_SIMD).ok().as_deref()))
+}
+
+thread_local! {
+    static FORCED: Cell<Option<Backend>> = const { Cell::new(None) };
+    static STATS: Cell<DispatchStats> = const { Cell::new(DispatchStats::ZERO) };
+}
+
+/// The backend top-level kernels use on this thread: a [`force`]
+/// override if one is active, else the process-wide `BNS_SIMD` /
+/// [`detect`] default.
+pub fn active() -> Backend {
+    FORCED.with(Cell::get).unwrap_or_else(default_backend)
+}
+
+/// Resolves the active backend and counts one top-level kernel
+/// dispatch against it (see [`DispatchStats`]). Kernel entry points
+/// call this once, before any pool fan-out.
+pub fn begin_kernel() -> Backend {
+    let bk = active();
+    note_dispatch(bk);
+    bk
+}
+
+/// Counts one top-level kernel dispatch on this thread's stats.
+pub fn note_dispatch(bk: Backend) {
+    STATS.with(|s| {
+        let mut d = s.get();
+        *d.slot_mut(bk) += 1;
+        s.set(d);
+    });
+}
+
+/// Restores the previous per-thread backend override on drop.
+#[must_use = "the override ends when the guard drops"]
+pub struct ForceGuard {
+    prev: Option<Backend>,
+}
+
+impl Drop for ForceGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        FORCED.with(|f| f.set(prev));
+    }
+}
+
+/// Forces `bk` for top-level kernels on **this thread** until the
+/// guard drops (tests and benches; production uses `BNS_SIMD`). Pool
+/// workers inherit the choice because kernels resolve the backend on
+/// the calling thread and pass it into their pool closures.
+///
+/// # Panics
+///
+/// Panics if `bk` cannot run on this CPU.
+pub fn force(bk: Backend) -> ForceGuard {
+    let bk = bk.checked();
+    let prev = FORCED.with(|f| f.replace(Some(bk)));
+    ForceGuard { prev }
+}
+
+/// Per-thread top-level kernel dispatch counts, by backend.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Dispatches that ran the scalar fallback.
+    pub scalar: u64,
+    /// Dispatches that ran SSE2 kernels.
+    pub sse2: u64,
+    /// Dispatches that ran AVX2 kernels.
+    pub avx2: u64,
+    /// Dispatches that ran NEON kernels.
+    pub neon: u64,
+}
+
+impl DispatchStats {
+    const ZERO: DispatchStats = DispatchStats {
+        scalar: 0,
+        sse2: 0,
+        avx2: 0,
+        neon: 0,
+    };
+
+    fn slot_mut(&mut self, bk: Backend) -> &mut u64 {
+        match bk {
+            Backend::Scalar => &mut self.scalar,
+            Backend::Sse2 => &mut self.sse2,
+            Backend::Avx2 => &mut self.avx2,
+            Backend::Neon => &mut self.neon,
+        }
+    }
+
+    /// The count for one backend.
+    pub fn get(&self, bk: Backend) -> u64 {
+        match bk {
+            Backend::Scalar => self.scalar,
+            Backend::Sse2 => self.sse2,
+            Backend::Avx2 => self.avx2,
+            Backend::Neon => self.neon,
+        }
+    }
+
+    /// Total dispatches across all backends.
+    pub fn total(&self) -> u64 {
+        self.scalar + self.sse2 + self.avx2 + self.neon
+    }
+
+    /// Dispatches that used a vector backend.
+    pub fn vectorized(&self) -> u64 {
+        self.total() - self.scalar
+    }
+}
+
+/// This thread's dispatch counts since start (or the last take).
+pub fn thread_stats() -> DispatchStats {
+    STATS.with(Cell::get)
+}
+
+/// Drains and resets this thread's dispatch counts — the engine flushes
+/// the delta into the `simd.dispatch.*` telemetry counters per rank.
+pub fn take_thread_stats() -> DispatchStats {
+    STATS.with(|s| s.replace(DispatchStats::ZERO))
+}
+
+/// Adam hyper-parameters plus the step-dependent bias corrections,
+/// packaged for [`adam_update`]. `b1t`/`b2t` are `1 - βᵢ^t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamHyper {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// Decoupled weight decay coefficient.
+    pub weight_decay: f32,
+    /// `1 - beta1.powi(t)` for the current step `t`.
+    pub b1t: f32,
+    /// `1 - beta2.powi(t)` for the current step `t`.
+    pub b2t: f32,
+}
+
+/// Lane-parallel f32 primitives, one impl per [`Backend`].
+///
+/// The methods are safe *functions* whose bodies contain the raw
+/// intrinsics. Their CPU-feature obligation is discharged non-locally:
+/// the only callers are the generic kernels in [`kernels`], which are
+/// `#[inline(always)]` and reachable solely through the
+/// `#[target_feature]` wrappers generated by `dispatch_kernels!`, after
+/// [`Backend::checked`] verified the feature at runtime. Memory safety
+/// is discharged locally: `load`/`store` take slices and assert the
+/// lane count before touching pointers.
+trait Vf32 {
+    /// f32 lanes per vector.
+    const LANES: usize;
+    /// The vector register type.
+    type V: Copy;
+    /// All lanes set to `x`.
+    fn splat(x: f32) -> Self::V;
+    /// Loads `LANES` f32s from the front of `s` (unaligned).
+    fn load(s: &[f32]) -> Self::V;
+    /// Stores the vector to the front of `s` (unaligned).
+    fn store(s: &mut [f32], v: Self::V);
+    /// Lanewise `a + b`.
+    fn add(a: Self::V, b: Self::V) -> Self::V;
+    /// Lanewise `a - b`.
+    fn sub(a: Self::V, b: Self::V) -> Self::V;
+    /// Lanewise `a * b` (never fused with an add).
+    fn mul(a: Self::V, b: Self::V) -> Self::V;
+    /// Lanewise `a / b` (correctly rounded; no reciprocal estimate).
+    fn div(a: Self::V, b: Self::V) -> Self::V;
+    /// Lanewise square root (correctly rounded; no rsqrt estimate).
+    fn sqrt(a: Self::V) -> Self::V;
+    /// Lanewise `if c > 0.0 { a } else { b }`; NaN and `-0.0` in `c`
+    /// select `b`, exactly like the scalar `>` comparison.
+    fn select_gtz(c: Self::V, a: Self::V, b: Self::V) -> Self::V;
+}
+
+/// The scalar reference "backend": one lane, plain f32 arithmetic. The
+/// vector impls must match it bit for bit (tests force every backend
+/// through the same inputs).
+struct ScalarV;
+
+impl Vf32 for ScalarV {
+    const LANES: usize = 1;
+    type V = f32;
+
+    #[inline(always)]
+    fn splat(x: f32) -> f32 {
+        x
+    }
+
+    #[inline(always)]
+    fn load(s: &[f32]) -> f32 {
+        s[0]
+    }
+
+    #[inline(always)]
+    fn store(s: &mut [f32], v: f32) {
+        s[0] = v;
+    }
+
+    #[inline(always)]
+    fn add(a: f32, b: f32) -> f32 {
+        a + b
+    }
+
+    #[inline(always)]
+    fn sub(a: f32, b: f32) -> f32 {
+        a - b
+    }
+
+    #[inline(always)]
+    fn mul(a: f32, b: f32) -> f32 {
+        a * b
+    }
+
+    #[inline(always)]
+    fn div(a: f32, b: f32) -> f32 {
+        a / b
+    }
+
+    #[inline(always)]
+    fn sqrt(a: f32) -> f32 {
+        a.sqrt()
+    }
+
+    #[inline(always)]
+    fn select_gtz(c: f32, a: f32, b: f32) -> f32 {
+        if c > 0.0 {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64 as x86;
+
+/// 4-lane SSE2 (x86_64 baseline).
+#[cfg(target_arch = "x86_64")]
+struct Sse2V;
+
+#[cfg(target_arch = "x86_64")]
+impl Vf32 for Sse2V {
+    const LANES: usize = 4;
+    type V = x86::__m128;
+
+    #[inline(always)]
+    fn splat(x: f32) -> Self::V {
+        // SAFETY: SSE2 verified by `Backend::checked` in the dispatcher
+        // before this impl is reachable (x86_64 baseline feature).
+        unsafe { x86::_mm_set1_ps(x) }
+    }
+
+    #[inline(always)]
+    fn load(s: &[f32]) -> Self::V {
+        assert!(s.len() >= 4);
+        // SAFETY: `s` holds at least 4 f32s (asserted above), so the
+        // unaligned load stays in bounds; SSE2 per `Backend::checked`.
+        unsafe { x86::_mm_loadu_ps(s.as_ptr()) }
+    }
+
+    #[inline(always)]
+    fn store(s: &mut [f32], v: Self::V) {
+        assert!(s.len() >= 4);
+        // SAFETY: `s` holds at least 4 f32s (asserted above), so the
+        // unaligned store stays in bounds; SSE2 per `Backend::checked`.
+        unsafe { x86::_mm_storeu_ps(s.as_mut_ptr(), v) }
+    }
+
+    #[inline(always)]
+    fn add(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: SSE2 per `Backend::checked` (see `splat`).
+        unsafe { x86::_mm_add_ps(a, b) }
+    }
+
+    #[inline(always)]
+    fn sub(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: SSE2 per `Backend::checked` (see `splat`).
+        unsafe { x86::_mm_sub_ps(a, b) }
+    }
+
+    #[inline(always)]
+    fn mul(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: SSE2 per `Backend::checked` (see `splat`).
+        unsafe { x86::_mm_mul_ps(a, b) }
+    }
+
+    #[inline(always)]
+    fn div(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: SSE2 per `Backend::checked` (see `splat`).
+        unsafe { x86::_mm_div_ps(a, b) }
+    }
+
+    #[inline(always)]
+    fn sqrt(a: Self::V) -> Self::V {
+        // SAFETY: SSE2 per `Backend::checked` (see `splat`).
+        unsafe { x86::_mm_sqrt_ps(a) }
+    }
+
+    #[inline(always)]
+    fn select_gtz(c: Self::V, a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: SSE2 per `Backend::checked` (see `splat`). cmpgt is
+        // an ordered compare: NaN lanes produce a zero mask -> `b`.
+        unsafe {
+            let m = x86::_mm_cmpgt_ps(c, x86::_mm_setzero_ps());
+            x86::_mm_or_ps(x86::_mm_and_ps(m, a), x86::_mm_andnot_ps(m, b))
+        }
+    }
+}
+
+/// 8-lane AVX2.
+#[cfg(target_arch = "x86_64")]
+struct Avx2V;
+
+#[cfg(target_arch = "x86_64")]
+impl Vf32 for Avx2V {
+    const LANES: usize = 8;
+    type V = x86::__m256;
+
+    #[inline(always)]
+    fn splat(x: f32) -> Self::V {
+        // SAFETY: AVX2 verified at runtime by `Backend::checked` in the
+        // dispatcher before this impl is reachable.
+        unsafe { x86::_mm256_set1_ps(x) }
+    }
+
+    #[inline(always)]
+    fn load(s: &[f32]) -> Self::V {
+        assert!(s.len() >= 8);
+        // SAFETY: `s` holds at least 8 f32s (asserted above), so the
+        // unaligned load stays in bounds; AVX2 per `Backend::checked`.
+        unsafe { x86::_mm256_loadu_ps(s.as_ptr()) }
+    }
+
+    #[inline(always)]
+    fn store(s: &mut [f32], v: Self::V) {
+        assert!(s.len() >= 8);
+        // SAFETY: `s` holds at least 8 f32s (asserted above), so the
+        // unaligned store stays in bounds; AVX2 per `Backend::checked`.
+        unsafe { x86::_mm256_storeu_ps(s.as_mut_ptr(), v) }
+    }
+
+    #[inline(always)]
+    fn add(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: AVX2 per `Backend::checked` (see `splat`).
+        unsafe { x86::_mm256_add_ps(a, b) }
+    }
+
+    #[inline(always)]
+    fn sub(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: AVX2 per `Backend::checked` (see `splat`).
+        unsafe { x86::_mm256_sub_ps(a, b) }
+    }
+
+    #[inline(always)]
+    fn mul(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: AVX2 per `Backend::checked` (see `splat`).
+        unsafe { x86::_mm256_mul_ps(a, b) }
+    }
+
+    #[inline(always)]
+    fn div(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: AVX2 per `Backend::checked` (see `splat`).
+        unsafe { x86::_mm256_div_ps(a, b) }
+    }
+
+    #[inline(always)]
+    fn sqrt(a: Self::V) -> Self::V {
+        // SAFETY: AVX2 per `Backend::checked` (see `splat`).
+        unsafe { x86::_mm256_sqrt_ps(a) }
+    }
+
+    #[inline(always)]
+    fn select_gtz(c: Self::V, a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: AVX2 per `Backend::checked` (see `splat`). _CMP_GT_OQ
+        // is the ordered quiet `>`: NaN lanes give a zero mask -> `b`.
+        unsafe {
+            let m = x86::_mm256_cmp_ps::<{ x86::_CMP_GT_OQ }>(c, x86::_mm256_setzero_ps());
+            x86::_mm256_blendv_ps(b, a, m)
+        }
+    }
+}
+
+/// 4-lane NEON (aarch64 baseline).
+#[cfg(target_arch = "aarch64")]
+struct NeonV;
+
+#[cfg(target_arch = "aarch64")]
+impl Vf32 for NeonV {
+    const LANES: usize = 4;
+    type V = core::arch::aarch64::float32x4_t;
+
+    #[inline(always)]
+    fn splat(x: f32) -> Self::V {
+        // SAFETY: NEON verified by `Backend::checked` in the dispatcher
+        // before this impl is reachable (aarch64 baseline feature).
+        unsafe { core::arch::aarch64::vdupq_n_f32(x) }
+    }
+
+    #[inline(always)]
+    fn load(s: &[f32]) -> Self::V {
+        assert!(s.len() >= 4);
+        // SAFETY: `s` holds at least 4 f32s (asserted above), so the
+        // load stays in bounds; NEON per `Backend::checked`.
+        unsafe { core::arch::aarch64::vld1q_f32(s.as_ptr()) }
+    }
+
+    #[inline(always)]
+    fn store(s: &mut [f32], v: Self::V) {
+        assert!(s.len() >= 4);
+        // SAFETY: `s` holds at least 4 f32s (asserted above), so the
+        // store stays in bounds; NEON per `Backend::checked`.
+        unsafe { core::arch::aarch64::vst1q_f32(s.as_mut_ptr(), v) }
+    }
+
+    #[inline(always)]
+    fn add(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: NEON per `Backend::checked` (see `splat`).
+        unsafe { core::arch::aarch64::vaddq_f32(a, b) }
+    }
+
+    #[inline(always)]
+    fn sub(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: NEON per `Backend::checked` (see `splat`).
+        unsafe { core::arch::aarch64::vsubq_f32(a, b) }
+    }
+
+    #[inline(always)]
+    fn mul(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: NEON per `Backend::checked` (see `splat`).
+        unsafe { core::arch::aarch64::vmulq_f32(a, b) }
+    }
+
+    #[inline(always)]
+    fn div(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: NEON per `Backend::checked` (see `splat`).
+        unsafe { core::arch::aarch64::vdivq_f32(a, b) }
+    }
+
+    #[inline(always)]
+    fn sqrt(a: Self::V) -> Self::V {
+        // SAFETY: NEON per `Backend::checked` (see `splat`).
+        unsafe { core::arch::aarch64::vsqrtq_f32(a) }
+    }
+
+    #[inline(always)]
+    fn select_gtz(c: Self::V, a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: NEON per `Backend::checked` (see `splat`). vcgt is an
+        // ordered compare: NaN lanes produce a zero mask -> `b`.
+        unsafe {
+            let m = core::arch::aarch64::vcgtq_f32(c, core::arch::aarch64::vdupq_n_f32(0.0));
+            core::arch::aarch64::vbslq_f32(m, a, b)
+        }
+    }
+}
+
+/// The kernel bodies, generic over [`Vf32`]. Everything here is
+/// `#[inline(always)]` so each instantiation collapses into the
+/// `#[target_feature]` wrapper that calls it, letting the intrinsics
+/// inline and vectorize. Safe code throughout: all bounds go through
+/// slice indexing or `chunks_exact`.
+mod kernels {
+    use super::{AdamHyper, Vf32, MM_KC};
+
+    /// `out[j] = v(out[j], src[j])` lanewise, with the scalar closure
+    /// on the remainder.
+    #[inline(always)]
+    fn zip2<S: Vf32>(
+        out: &mut [f32],
+        src: &[f32],
+        v: impl Fn(S::V, S::V) -> S::V,
+        s: impl Fn(f32, f32) -> f32,
+    ) {
+        let mut o = out.chunks_exact_mut(S::LANES);
+        let mut q = src.chunks_exact(S::LANES);
+        for (oc, sc) in (&mut o).zip(&mut q) {
+            S::store(oc, v(S::load(oc), S::load(sc)));
+        }
+        for (oe, &se) in o.into_remainder().iter_mut().zip(q.remainder()) {
+            *oe = s(*oe, se);
+        }
+    }
+
+    /// `out[j] = v(out[j])` lanewise, scalar closure on the remainder.
+    #[inline(always)]
+    fn map1<S: Vf32>(out: &mut [f32], v: impl Fn(S::V) -> S::V, s: impl Fn(f32) -> f32) {
+        let mut o = out.chunks_exact_mut(S::LANES);
+        for oc in &mut o {
+            S::store(oc, v(S::load(oc)));
+        }
+        for oe in o.into_remainder() {
+            *oe = s(*oe);
+        }
+    }
+
+    /// `out[j] += alpha * src[j]` — the row-axpy every matmul and
+    /// aggregation kernel is built from. One multiply, one add, no
+    /// fusing; identical to the scalar loop per element.
+    #[inline(always)]
+    fn axpy_row<S: Vf32>(out: &mut [f32], alpha: f32, src: &[f32]) {
+        let va = S::splat(alpha);
+        zip2::<S>(
+            out,
+            src,
+            |o, x| S::add(o, S::mul(va, x)),
+            |o, x| o + alpha * x,
+        );
+    }
+
+    #[inline(always)]
+    pub(super) fn add_assign<S: Vf32>(out: &mut [f32], src: &[f32]) {
+        zip2::<S>(out, src, |a, b| S::add(a, b), |a, b| a + b);
+    }
+
+    #[inline(always)]
+    pub(super) fn sub_assign<S: Vf32>(out: &mut [f32], src: &[f32]) {
+        zip2::<S>(out, src, |a, b| S::sub(a, b), |a, b| a - b);
+    }
+
+    #[inline(always)]
+    pub(super) fn hadamard_assign<S: Vf32>(out: &mut [f32], src: &[f32]) {
+        zip2::<S>(out, src, |a, b| S::mul(a, b), |a, b| a * b);
+    }
+
+    #[inline(always)]
+    pub(super) fn axpy<S: Vf32>(out: &mut [f32], alpha: f32, src: &[f32]) {
+        axpy_row::<S>(out, alpha, src);
+    }
+
+    #[inline(always)]
+    pub(super) fn scale<S: Vf32>(out: &mut [f32], s: f32) {
+        let vs = S::splat(s);
+        map1::<S>(out, |a| S::mul(a, vs), |a| a * s);
+    }
+
+    #[inline(always)]
+    pub(super) fn scaled_copy<S: Vf32>(out: &mut [f32], s: f32, src: &[f32]) {
+        let vs = S::splat(s);
+        zip2::<S>(out, src, |_, x| S::mul(x, vs), |_, x| x * s);
+    }
+
+    #[inline(always)]
+    pub(super) fn scale_axpy<S: Vf32>(out: &mut [f32], c1: f32, c2: f32, src: &[f32]) {
+        let v1 = S::splat(c1);
+        let v2 = S::splat(c2);
+        zip2::<S>(
+            out,
+            src,
+            |a, b| S::add(S::mul(v1, a), S::mul(v2, b)),
+            |a, b| c1 * a + c2 * b,
+        );
+    }
+
+    #[inline(always)]
+    pub(super) fn relu<S: Vf32>(out: &mut [f32]) {
+        let z = S::splat(0.0);
+        map1::<S>(
+            out,
+            |a| S::select_gtz(a, a, z),
+            |a| if a > 0.0 { a } else { 0.0 },
+        );
+    }
+
+    #[inline(always)]
+    pub(super) fn leaky_relu<S: Vf32>(out: &mut [f32], slope: f32) {
+        let vs = S::splat(slope);
+        map1::<S>(
+            out,
+            |a| S::select_gtz(a, a, S::mul(vs, a)),
+            |a| if a > 0.0 { a } else { slope * a },
+        );
+    }
+
+    #[inline(always)]
+    pub(super) fn relu_backward<S: Vf32>(out: &mut [f32], pre: &[f32]) {
+        let one = S::splat(1.0);
+        let zero = S::splat(0.0);
+        zip2::<S>(
+            out,
+            pre,
+            |u, p| S::mul(u, S::select_gtz(p, one, zero)),
+            |u, p| u * if p > 0.0 { 1.0 } else { 0.0 },
+        );
+    }
+
+    #[inline(always)]
+    pub(super) fn leaky_relu_backward<S: Vf32>(out: &mut [f32], pre: &[f32], slope: f32) {
+        let one = S::splat(1.0);
+        let vs = S::splat(slope);
+        zip2::<S>(
+            out,
+            pre,
+            |u, p| S::mul(u, S::select_gtz(p, one, vs)),
+            |u, p| u * if p > 0.0 { 1.0 } else { slope },
+        );
+    }
+
+    /// Column tiles of the accumulator held in registers across the
+    /// whole neighbor list: per element the additions still run in
+    /// `idx` order (identical to the scalar loop), but the `acc`
+    /// traffic drops from one load+store per neighbor to one per tile.
+    #[inline(always)]
+    pub(super) fn sum_rows<S: Vf32>(
+        acc: &mut [f32],
+        src: &[f32],
+        d: usize,
+        idx: &[u32],
+        offset: usize,
+    ) {
+        let mut col = 0;
+        while col + 2 * S::LANES <= d {
+            let mut a0 = S::load(&acc[col..]);
+            let mut a1 = S::load(&acc[col + S::LANES..]);
+            for &u in idx {
+                let r = (u as usize - offset) * d + col;
+                a0 = S::add(a0, S::load(&src[r..]));
+                a1 = S::add(a1, S::load(&src[r + S::LANES..]));
+            }
+            S::store(&mut acc[col..], a0);
+            S::store(&mut acc[col + S::LANES..], a1);
+            col += 2 * S::LANES;
+        }
+        if col + S::LANES <= d {
+            let mut a0 = S::load(&acc[col..]);
+            for &u in idx {
+                a0 = S::add(a0, S::load(&src[(u as usize - offset) * d + col..]));
+            }
+            S::store(&mut acc[col..], a0);
+            col += S::LANES;
+        }
+        for c in col..d {
+            let mut s = acc[c];
+            for &u in idx {
+                s += src[(u as usize - offset) * d + c];
+            }
+            acc[c] = s;
+        }
+    }
+
+    /// Same register tiling as [`sum_rows`], with each neighbor row
+    /// scaled by `scales[u]` (multiply then add — never fused).
+    #[inline(always)]
+    pub(super) fn sum_rows_scaled<S: Vf32>(
+        acc: &mut [f32],
+        src: &[f32],
+        d: usize,
+        idx: &[u32],
+        offset: usize,
+        scales: &[f32],
+    ) {
+        let mut col = 0;
+        while col + 2 * S::LANES <= d {
+            let mut a0 = S::load(&acc[col..]);
+            let mut a1 = S::load(&acc[col + S::LANES..]);
+            for &u in idx {
+                let av = S::splat(scales[u as usize]);
+                let r = (u as usize - offset) * d + col;
+                a0 = S::add(a0, S::mul(av, S::load(&src[r..])));
+                a1 = S::add(a1, S::mul(av, S::load(&src[r + S::LANES..])));
+            }
+            S::store(&mut acc[col..], a0);
+            S::store(&mut acc[col + S::LANES..], a1);
+            col += 2 * S::LANES;
+        }
+        if col + S::LANES <= d {
+            let mut a0 = S::load(&acc[col..]);
+            for &u in idx {
+                let av = S::splat(scales[u as usize]);
+                a0 = S::add(
+                    a0,
+                    S::mul(av, S::load(&src[(u as usize - offset) * d + col..])),
+                );
+            }
+            S::store(&mut acc[col..], a0);
+            col += S::LANES;
+        }
+        for c in col..d {
+            let mut s = acc[c];
+            for &u in idx {
+                s += scales[u as usize] * src[(u as usize - offset) * d + c];
+            }
+            acc[c] = s;
+        }
+    }
+
+    #[inline(always)]
+    pub(super) fn scatter_rows<S: Vf32>(dst: &mut [f32], d: usize, idx: &[u32], row: &[f32]) {
+        for &u in idx {
+            let r = u as usize * d;
+            add_assign::<S>(&mut dst[r..r + d], row);
+        }
+    }
+
+    #[inline(always)]
+    pub(super) fn scatter_rows_scaled<S: Vf32>(
+        dst: &mut [f32],
+        d: usize,
+        idx: &[u32],
+        row: &[f32],
+        scales: &[f32],
+    ) {
+        for &u in idx {
+            let r = u as usize * d;
+            axpy_row::<S>(&mut dst[r..r + d], scales[u as usize], row);
+        }
+    }
+
+    /// One `MM_KC`-deep panel of `C[i] += a[i][k] * B[k]`, the whole
+    /// panel's `k` sum held in registers per output vector pair (two
+    /// independent chains hide the add latency). Registers round
+    /// exactly like memory, so per element this is still the plain
+    /// ascending-`k` scalar accumulation, bit for bit.
+    #[inline(always)]
+    fn mm_nn_panel<S: Vf32>(arow: &[f32], b: &[f32], orow: &mut [f32], kb: usize, n: usize) {
+        let mut oc = orow.chunks_exact_mut(2 * S::LANES);
+        let mut j = 0;
+        for opair in &mut oc {
+            let (o0, o1) = opair.split_at_mut(S::LANES);
+            let mut a0 = S::load(o0);
+            let mut a1 = S::load(o1);
+            for (k, &av) in arow.iter().enumerate() {
+                let vav = S::splat(av);
+                let r = (kb + k) * n + j;
+                a0 = S::add(a0, S::mul(vav, S::load(&b[r..])));
+                a1 = S::add(a1, S::mul(vav, S::load(&b[r + S::LANES..])));
+            }
+            S::store(o0, a0);
+            S::store(o1, a1);
+            j += 2 * S::LANES;
+        }
+        let tail = oc.into_remainder();
+        let mut tc = tail.chunks_exact_mut(S::LANES);
+        for ochunk in &mut tc {
+            let mut a0 = S::load(ochunk);
+            for (k, &av) in arow.iter().enumerate() {
+                a0 = S::add(a0, S::mul(S::splat(av), S::load(&b[(kb + k) * n + j..])));
+            }
+            S::store(ochunk, a0);
+            j += S::LANES;
+        }
+        for (jj, oe) in tc.into_remainder().iter_mut().enumerate() {
+            let col = j + jj;
+            let mut s = *oe;
+            for (k, &av) in arow.iter().enumerate() {
+                s += av * b[(kb + k) * n + col];
+            }
+            *oe = s;
+        }
+    }
+
+    #[inline(always)]
+    pub(super) fn mm_nn_block<S: Vf32>(
+        a_block: &[f32],
+        b: &[f32],
+        out_block: &mut [f32],
+        kd: usize,
+        n: usize,
+    ) {
+        let block_rows = out_block.len() / n.max(1);
+        let mut kb = 0;
+        while kb < kd {
+            let kend = (kb + MM_KC).min(kd);
+            for i in 0..block_rows {
+                let arow = &a_block[i * kd + kb..i * kd + kend];
+                let orow = &mut out_block[i * n..(i + 1) * n];
+                mm_nn_panel::<S>(arow, b, orow, kb, n);
+            }
+            kb = kend;
+        }
+    }
+
+    /// One `MM_KC`-deep panel of `C[i] += a[r][i] * B[r]` for a single
+    /// output row `i` (a column of `A`), the `r` sum held in registers
+    /// per output vector pair — same structure and same per-element
+    /// ascending-`r` order as [`mm_nn_panel`].
+    #[inline(always)]
+    fn mm_tn_panel<S: Vf32>(
+        a: &[f32],
+        b: &[f32],
+        orow: &mut [f32],
+        i: usize,
+        (rb, rend): (usize, usize),
+        kd: usize,
+    ) {
+        let n = orow.len();
+        let mut oc = orow.chunks_exact_mut(2 * S::LANES);
+        let mut j = 0;
+        for opair in &mut oc {
+            let (o0, o1) = opair.split_at_mut(S::LANES);
+            let mut a0 = S::load(o0);
+            let mut a1 = S::load(o1);
+            for r in rb..rend {
+                let vav = S::splat(a[r * kd + i]);
+                let q = r * n + j;
+                a0 = S::add(a0, S::mul(vav, S::load(&b[q..])));
+                a1 = S::add(a1, S::mul(vav, S::load(&b[q + S::LANES..])));
+            }
+            S::store(o0, a0);
+            S::store(o1, a1);
+            j += 2 * S::LANES;
+        }
+        let tail = oc.into_remainder();
+        let mut tc = tail.chunks_exact_mut(S::LANES);
+        for ochunk in &mut tc {
+            let mut a0 = S::load(ochunk);
+            for r in rb..rend {
+                a0 = S::add(
+                    a0,
+                    S::mul(S::splat(a[r * kd + i]), S::load(&b[r * n + j..])),
+                );
+            }
+            S::store(ochunk, a0);
+            j += S::LANES;
+        }
+        for (jj, oe) in tc.into_remainder().iter_mut().enumerate() {
+            let col = j + jj;
+            let mut s = *oe;
+            for r in rb..rend {
+                s += a[r * kd + i] * b[r * n + col];
+            }
+            *oe = s;
+        }
+    }
+
+    #[inline(always)]
+    pub(super) fn mm_tn_block<S: Vf32>(
+        a: &[f32],
+        b: &[f32],
+        out_block: &mut [f32],
+        (i0, i1): (usize, usize),
+        kd: usize,
+        n: usize,
+    ) {
+        let rows = a.len().checked_div(kd).unwrap_or(0);
+        let mut rb = 0;
+        while rb < rows {
+            let rend = (rb + MM_KC).min(rows);
+            for (ii, orow) in out_block.chunks_exact_mut(n).take(i1 - i0).enumerate() {
+                mm_tn_panel::<S>(a, b, orow, i0 + ii, (rb, rend), kd);
+            }
+            rb = rend;
+        }
+    }
+
+    #[inline(always)]
+    pub(super) fn adam_update<S: Vf32>(
+        p: &mut [f32],
+        g: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        h: &AdamHyper,
+    ) {
+        let wd = S::splat(h.weight_decay);
+        let b1 = S::splat(h.beta1);
+        let b2 = S::splat(h.beta2);
+        let omb1 = S::splat(1.0 - h.beta1);
+        let omb2 = S::splat(1.0 - h.beta2);
+        let b1t = S::splat(h.b1t);
+        let b2t = S::splat(h.b2t);
+        let lr = S::splat(h.lr);
+        let eps = S::splat(h.eps);
+        let mut pc = p.chunks_exact_mut(S::LANES);
+        let mut gc = g.chunks_exact(S::LANES);
+        let mut mc = m.chunks_exact_mut(S::LANES);
+        let mut vc = v.chunks_exact_mut(S::LANES);
+        while let (Some(pp), Some(gg), Some(mm), Some(vv)) =
+            (pc.next(), gc.next(), mc.next(), vc.next())
+        {
+            let gi = S::add(S::load(gg), S::mul(wd, S::load(pp)));
+            let mn = S::add(S::mul(b1, S::load(mm)), S::mul(omb1, gi));
+            let vn = S::add(S::mul(b2, S::load(vv)), S::mul(S::mul(omb2, gi), gi));
+            S::store(mm, mn);
+            S::store(vv, vn);
+            let mhat = S::div(mn, b1t);
+            let vhat = S::div(vn, b2t);
+            let step = S::div(S::mul(lr, mhat), S::add(S::sqrt(vhat), eps));
+            S::store(pp, S::sub(S::load(pp), step));
+        }
+        for (((pp, &gg), mm), vv) in pc
+            .into_remainder()
+            .iter_mut()
+            .zip(gc.remainder())
+            .zip(mc.into_remainder().iter_mut())
+            .zip(vc.into_remainder().iter_mut())
+        {
+            let gi = gg + h.weight_decay * *pp;
+            *mm = h.beta1 * *mm + (1.0 - h.beta1) * gi;
+            *vv = h.beta2 * *vv + (1.0 - h.beta2) * gi * gi;
+            let mhat = *mm / h.b1t;
+            let vhat = *vv / h.b2t;
+            *pp -= h.lr * mhat / (vhat.sqrt() + h.eps);
+        }
+    }
+}
+
+/// Generates the public dispatch wrapper for each kernel: verify the
+/// backend is runnable ([`Backend::checked`]), then jump into the
+/// matching `#[target_feature]` monomorphization. The wrappers are the
+/// *only* route to the vector impls, which is what the `SAFETY`
+/// arguments in the impls rely on.
+macro_rules! dispatch_kernels {
+    ($(
+        $(#[$meta:meta])*
+        pub fn $name:ident( $($arg:ident : $ty:ty),* $(,)? );
+    )+) => {$(
+        $(#[$meta])*
+        #[allow(clippy::too_many_arguments)]
+        pub fn $name(bk: Backend, $($arg: $ty),*) {
+            match bk.checked() {
+                Backend::Scalar => kernels::$name::<ScalarV>($($arg),*),
+                #[cfg(target_arch = "x86_64")]
+                Backend::Avx2 => {
+                    #[target_feature(enable = "avx2")]
+                    fn with_avx2($($arg: $ty),*) {
+                        kernels::$name::<Avx2V>($($arg),*)
+                    }
+                    // SAFETY: `checked` confirmed AVX2 on this CPU, so
+                    // calling the AVX2-feature fn cannot fault.
+                    unsafe { with_avx2($($arg),*) }
+                }
+                #[cfg(target_arch = "x86_64")]
+                Backend::Sse2 => {
+                    #[target_feature(enable = "sse2")]
+                    fn with_sse2($($arg: $ty),*) {
+                        kernels::$name::<Sse2V>($($arg),*)
+                    }
+                    // SAFETY: `checked` confirmed SSE2 on this CPU
+                    // (x86_64 baseline), so the call cannot fault.
+                    unsafe { with_sse2($($arg),*) }
+                }
+                #[cfg(target_arch = "aarch64")]
+                Backend::Neon => {
+                    #[target_feature(enable = "neon")]
+                    fn with_neon($($arg: $ty),*) {
+                        kernels::$name::<NeonV>($($arg),*)
+                    }
+                    // SAFETY: `checked` confirmed NEON on this CPU
+                    // (aarch64 baseline), so the call cannot fault.
+                    unsafe { with_neon($($arg),*) }
+                }
+                other => unreachable!(
+                    "backend {other:?} passed the availability check but has no dispatch arm"
+                ),
+            }
+        }
+    )+};
+}
+
+dispatch_kernels! {
+    /// `out[j] += src[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices' lengths differ.
+    pub fn add_assign(out: &mut [f32], src: &[f32]);
+
+    /// `out[j] -= src[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices' lengths differ.
+    pub fn sub_assign(out: &mut [f32], src: &[f32]);
+
+    /// `out[j] *= src[j]` (Hadamard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices' lengths differ.
+    pub fn hadamard_assign(out: &mut [f32], src: &[f32]);
+
+    /// `out[j] += alpha * src[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices' lengths differ.
+    pub fn axpy(out: &mut [f32], alpha: f32, src: &[f32]);
+
+    /// `out[j] *= s`.
+    pub fn scale(out: &mut [f32], s: f32);
+
+    /// `out[j] = src[j] * s` (the old contents of `out` are ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices' lengths differ.
+    pub fn scaled_copy(out: &mut [f32], s: f32, src: &[f32]);
+
+    /// `out[j] = c1 * out[j] + c2 * src[j]` — the GCN self-loop
+    /// finalization with `c1 = s_v`, `c2 = s_v²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices' lengths differ.
+    pub fn scale_axpy(out: &mut [f32], c1: f32, c2: f32, src: &[f32]);
+
+    /// In-place ReLU: `out[j] = if out[j] > 0 { out[j] } else { 0.0 }`.
+    /// NaN inputs map to `0.0` and `-0.0` maps to `+0.0` on every
+    /// backend (a strict select, unlike `f32::max` whose signed-zero
+    /// result is documented as unspecified).
+    pub fn relu(out: &mut [f32]);
+
+    /// In-place LeakyReLU with the given negative slope.
+    pub fn leaky_relu(out: &mut [f32], slope: f32);
+
+    /// Fused ReLU backward: `out[j] *= if pre[j] > 0 { 1.0 } else
+    /// { 0.0 }` — the same arithmetic as the former mask-then-hadamard
+    /// two-pass, in one sweep (NaN upstream still propagates through
+    /// the multiply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices' lengths differ.
+    pub fn relu_backward(out: &mut [f32], pre: &[f32]);
+
+    /// Fused LeakyReLU backward: `out[j] *= if pre[j] > 0 { 1.0 } else
+    /// { slope }`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices' lengths differ.
+    pub fn leaky_relu_backward(out: &mut [f32], pre: &[f32], slope: f32);
+
+    /// `acc += src.row(idx[i] - offset)` for each index in order, rows
+    /// of width `d` — the neighbor-sum inner loop of the aggregation
+    /// kernels, dispatched once per target row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index falls outside `src` or `acc.len() != d`.
+    pub fn sum_rows(acc: &mut [f32], src: &[f32], d: usize, idx: &[u32], offset: usize);
+
+    /// `acc += scales[idx[i]] * src.row(idx[i] - offset)` for each
+    /// index in order (GCN-normalized neighbor sum).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices or width mismatches.
+    pub fn sum_rows_scaled(
+        acc: &mut [f32],
+        src: &[f32],
+        d: usize,
+        idx: &[u32],
+        offset: usize,
+        scales: &[f32],
+    );
+
+    /// `dst.row(idx[i]) += row` for each index in order (`dst` is a
+    /// flat `rows x d` buffer) — the backward scatter inner loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices or width mismatches.
+    pub fn scatter_rows(dst: &mut [f32], d: usize, idx: &[u32], row: &[f32]);
+
+    /// `dst.row(idx[i]) += scales[idx[i]] * row` for each index in
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices or width mismatches.
+    pub fn scatter_rows_scaled(dst: &mut [f32], d: usize, idx: &[u32], row: &[f32], scales: &[f32]);
+
+    /// The i-k-j matmul kernel on one block of output rows: `out[i] +=
+    /// a[i][k] * b[k]`, `k` tiled in [`MM_KC`] panels, vectorized
+    /// across the `n` output columns. Per-element accumulation order is
+    /// ascending `k`, identical to the untiled scalar loop.
+    pub fn mm_nn_block(a_block: &[f32], b: &[f32], out_block: &mut [f32], kd: usize, n: usize);
+
+    /// The `A^T B` kernel on output rows `[i0, i1)` (columns of `A`):
+    /// for each row `r` of `A`, broadcast `a[r][i]` across `B`'s row
+    /// `r`. Accumulation order per element is ascending `r`.
+    pub fn mm_tn_block(
+        a: &[f32],
+        b: &[f32],
+        out_block: &mut [f32],
+        i01: (usize, usize),
+        kd: usize,
+        n: usize,
+    );
+
+    /// One Adam update over a flat parameter tensor, replicating the
+    /// scalar expression order exactly (see [`AdamHyper`]); `div` and
+    /// `sqrt` are correctly rounded on every backend, so the update is
+    /// bitwise identical at any lane width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices' lengths differ.
+    pub fn adam_update(p: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], h: &AdamHyper);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_and_rejects_unknown() {
+        for bk in Backend::ALL {
+            assert_eq!(Backend::parse(bk.name()), Some(bk));
+            assert_eq!(Backend::parse(&bk.name().to_uppercase()), Some(bk));
+        }
+        assert_eq!(Backend::parse("avx512"), None);
+        assert_eq!(Backend::parse(""), None);
+    }
+
+    #[test]
+    fn resolve_table() {
+        assert_eq!(resolve(None), detect());
+        assert_eq!(resolve(Some("")), detect());
+        assert_eq!(resolve(Some("auto")), detect());
+        assert_eq!(resolve(Some("AUTO")), detect());
+        assert_eq!(resolve(Some("nonsense")), detect());
+        assert_eq!(resolve(Some("scalar")), Backend::Scalar);
+        assert_eq!(resolve(Some(" scalar ")), Backend::Scalar);
+        // A recognized but unavailable backend degrades to detect().
+        let foreign = if cfg!(target_arch = "x86_64") {
+            "neon"
+        } else {
+            "avx2"
+        };
+        assert_eq!(resolve(Some(foreign)), detect());
+    }
+
+    #[test]
+    fn detect_is_available_and_best() {
+        let bk = detect();
+        assert!(bk.is_available());
+        #[cfg(target_arch = "x86_64")]
+        assert_ne!(bk, Backend::Neon);
+        #[cfg(target_arch = "aarch64")]
+        assert_eq!(bk, Backend::Neon);
+    }
+
+    #[test]
+    fn force_nests_and_restores() {
+        let outer = active();
+        {
+            let _g1 = force(Backend::Scalar);
+            assert_eq!(active(), Backend::Scalar);
+            {
+                let _g2 = force(detect());
+                assert_eq!(active(), detect());
+            }
+            assert_eq!(active(), Backend::Scalar);
+        }
+        assert_eq!(active(), outer);
+    }
+
+    #[test]
+    #[should_panic(expected = "not available")]
+    fn force_rejects_unavailable_backend() {
+        let foreign = if cfg!(target_arch = "x86_64") {
+            Backend::Neon
+        } else {
+            Backend::Avx2
+        };
+        let _g = force(foreign);
+    }
+
+    #[test]
+    fn dispatch_stats_count_and_drain() {
+        let _ = take_thread_stats();
+        let _g = force(Backend::Scalar);
+        let mut a = [1.0f32, 2.0, 3.0];
+        add_assign(begin_kernel(), &mut a, &[1.0, 1.0, 1.0]);
+        let st = thread_stats();
+        assert_eq!(st.scalar, 1);
+        assert_eq!(st.total(), 1);
+        assert_eq!(st.vectorized(), 0);
+        let drained = take_thread_stats();
+        assert_eq!(drained, st);
+        assert_eq!(thread_stats().total(), 0);
+    }
+
+    #[test]
+    fn lanes_are_consistent() {
+        assert_eq!(Backend::Scalar.lanes(), 1);
+        assert_eq!(Backend::Sse2.lanes(), 4);
+        assert_eq!(Backend::Avx2.lanes(), 8);
+        assert_eq!(Backend::Neon.lanes(), 4);
+    }
+
+    /// Every available backend must agree with scalar bit for bit on a
+    /// remainder-heavy length with special values in play.
+    #[test]
+    fn kernels_match_scalar_bitwise_smoke() {
+        let base: Vec<f32> = (0..19)
+            .map(|i| match i % 6 {
+                0 => f32::NAN,
+                1 => -0.0,
+                2 => f32::INFINITY,
+                3 => -3.5,
+                4 => 1.0e-40, // subnormal
+                _ => 2.5 + i as f32,
+            })
+            .collect();
+        let src: Vec<f32> = base.iter().map(|x| x * 0.5 - 1.0).collect();
+        for bk in Backend::ALL.into_iter().filter(|b| b.is_available()) {
+            let mut want = base.clone();
+            add_assign(Backend::Scalar, &mut want, &src);
+            relu(Backend::Scalar, &mut want);
+            let mut got = base.clone();
+            add_assign(bk, &mut got, &src);
+            relu(bk, &mut got);
+            let wb: Vec<u32> = want.iter().map(|x| x.to_bits()).collect();
+            let gb: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(wb, gb, "backend {bk:?} diverged from scalar");
+        }
+    }
+}

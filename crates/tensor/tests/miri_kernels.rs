@@ -17,6 +17,7 @@
 //! the whole exercise vacuous.
 
 use bns_tensor::pool::{self, ThreadPool};
+use bns_tensor::simd::{self, Backend};
 use bns_tensor::{Matrix, SeededRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -127,4 +128,59 @@ fn matmul_variants_parallel_match_serial_bitwise() {
             assert!((nt_serial.row(i)[j] - r).abs() <= 1e-4 * r.abs().max(1.0));
         }
     }
+}
+
+/// The SIMD dispatch layer under Miri: SSE2 (statically guaranteed on
+/// x86_64, so the intrinsic path is exercisable even under the
+/// interpreter) and any other available backend must match the forced-
+/// scalar result bitwise, and every forced dispatch must land on the
+/// forced backend's `DispatchStats` counter — including through a
+/// multi-thread pool, where the backend is resolved on the calling
+/// thread and shipped into the workers.
+#[test]
+fn simd_backends_dispatch_and_match_scalar_bitwise() {
+    let mut rng = SeededRng::new(17);
+    let a = Matrix::random_normal(M, K, 0.0, 1.0, &mut rng);
+    let b = Matrix::random_normal(K, N, 0.0, 1.0, &mut rng);
+
+    let _ = simd::take_thread_stats();
+    let scalar = {
+        let _g = simd::force(Backend::Scalar);
+        a.matmul(&b)
+    };
+    assert_eq!(
+        simd::thread_stats().get(Backend::Scalar),
+        1,
+        "one forced-scalar matmul = one scalar dispatch"
+    );
+
+    let vector: Vec<Backend> = Backend::ALL
+        .into_iter()
+        .filter(|bk| *bk != Backend::Scalar && bk.is_available())
+        .collect();
+    assert!(
+        cfg!(not(target_arch = "x86_64")) || vector.contains(&Backend::Sse2),
+        "SSE2 is baseline on x86_64, so Miri must be able to force it"
+    );
+    for bk in vector {
+        let before = simd::thread_stats().get(bk);
+        let _g = simd::force(bk);
+        let serial = a.matmul(&b);
+        let pooled = {
+            let _p = pool::install(ThreadPool::new(3));
+            a.matmul(&b)
+        };
+        assert_eq!(serial, scalar, "{} serial vs scalar", bk.name());
+        assert_eq!(pooled, scalar, "{} pooled vs scalar", bk.name());
+        assert_eq!(
+            simd::thread_stats().get(bk) - before,
+            2,
+            "both {} matmuls must count on the forced backend",
+            bk.name()
+        );
+    }
+
+    let drained = simd::take_thread_stats();
+    assert!(drained.total() >= 1, "drain returns accumulated counts");
+    assert_eq!(simd::thread_stats().total(), 0, "drain resets the stats");
 }

@@ -1,0 +1,6 @@
+// Seeded violation for tests/selftest.rs: a `mul_add` in a file the
+// fixture config designates as a kernel (rule 5, fma-in-kernel).
+
+pub fn fused(a: f32, b: f32, c: f32) -> f32 {
+    a.mul_add(b, c)
+}

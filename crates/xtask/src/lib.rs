@@ -1,7 +1,7 @@
 //! Source-level audit of the workspace's `unsafe` and concurrency
 //! hygiene, run as `cargo xtask audit` (see `.cargo/config.toml`).
 //!
-//! Four rules, all enforced over the checked-in sources (no
+//! Five rules, all enforced over the checked-in sources (no
 //! compilation, so the lint also covers cfg'd-out code):
 //!
 //! 1. **SAFETY comments** — every line containing the `unsafe` keyword
@@ -23,6 +23,10 @@
 //!    hot kernels (aggregate, matmul, boundary exchange): their
 //!    iteration order is randomized per process, which would make
 //!    per-rank results irreproducible.
+//! 5. **FMA ban** — `mul_add` and fused multiply-add intrinsics
+//!    (`fmadd`/`fmsub`/`vfma`) are forbidden in the kernel files: a
+//!    fused op rounds once where mul-then-add rounds twice, so any FMA
+//!    breaks the bitwise scalar≡SIMD determinism contract.
 //!
 //! The scanner is line-oriented with a small string/char/comment
 //! stripper — deliberately simple, auditable, and dependency-free
@@ -49,6 +53,8 @@ pub enum Rule {
     ForbiddenSpawn,
     /// `HashMap`/`HashSet` in a determinism-critical kernel file.
     HashCollection,
+    /// `mul_add`/FMA intrinsic in a determinism-critical kernel file.
+    FmaInKernel,
 }
 
 impl fmt::Display for Rule {
@@ -59,6 +65,7 @@ impl fmt::Display for Rule {
             Rule::LedgerStale => "stale-ledger-entry",
             Rule::ForbiddenSpawn => "forbidden-thread-spawn",
             Rule::HashCollection => "hash-collection-in-kernel",
+            Rule::FmaInKernel => "fma-in-kernel",
         };
         f.write_str(s)
     }
@@ -128,7 +135,10 @@ impl AuditConfig {
             ],
             kernel_files: vec![
                 "crates/nn/src/aggregate.rs".into(),
+                "crates/nn/src/activation.rs".into(),
+                "crates/nn/src/optim.rs".into(),
                 "crates/tensor/src/matrix.rs".into(),
+                "crates/tensor/src/simd.rs".into(),
                 "crates/core/src/exchange.rs".into(),
             ],
             skip: vec![
@@ -415,6 +425,23 @@ fn scan_file(cfg: &AuditConfig, rel: &str, content: &str) -> FileScan {
                 rule: Rule::HashCollection,
                 message: "hash collections have randomized iteration order; kernels must \
                           stay deterministic (use Vec/BTreeMap or index arrays)"
+                    .to_string(),
+            });
+        }
+
+        // `mul_add` word-matches (`_` counts as a word character); the
+        // intrinsic families need substring search because their names
+        // embed the pattern (`_mm256_fmadd_ps`, `vfmaq_f32`, …).
+        let fma = has_word(&code, "mul_add")
+            || ["fmadd", "fmsub", "vfma"].iter().any(|p| code.contains(p));
+        if is_kernel && fma {
+            violations.push(Violation {
+                file: rel.to_string(),
+                line: lineno,
+                rule: Rule::FmaInKernel,
+                message: "fused multiply-add rounds once where mul+add rounds twice, so it \
+                          breaks the bitwise scalar/SIMD determinism contract; use separate \
+                          mul and add"
                     .to_string(),
             });
         }

@@ -18,7 +18,7 @@ fn workspace_root() -> PathBuf {
 }
 
 /// Config over the fixtures dir with a throwaway ledger path and
-/// `hash_kernel.rs` designated as a kernel file.
+/// `hash_kernel.rs` / `fma_kernel.rs` designated as kernel files.
 fn fixture_cfg(ledger_name: &str) -> AuditConfig {
     let root = fixtures_root();
     AuditConfig {
@@ -28,7 +28,7 @@ fn fixture_cfg(ledger_name: &str) -> AuditConfig {
         )),
         root,
         spawn_allow: vec![],
-        kernel_files: vec!["hash_kernel.rs".into()],
+        kernel_files: vec!["hash_kernel.rs".into(), "fma_kernel.rs".into()],
         skip: vec![],
     }
 }
@@ -66,6 +66,10 @@ fn every_seeded_fixture_violation_is_caught() {
     let hashes = rules_for(&report, "hash_kernel.rs");
     assert!(!hashes.is_empty());
     assert!(hashes.iter().all(|(r, _)| **r == Rule::HashCollection));
+
+    // Rule 5: `mul_add` in a configured kernel file, at the call line.
+    let fma = rules_for(&report, "fma_kernel.rs");
+    assert_eq!(fma, vec![(&Rule::FmaInKernel, 5)]);
 }
 
 #[test]
@@ -87,6 +91,7 @@ fn bless_then_check_roundtrips_and_detects_tampering() {
         "missing_safety.rs".into(),
         "spawn_violation.rs".into(),
         "hash_kernel.rs".into(),
+        "fma_kernel.rs".into(),
     ];
 
     let n = bless(&cfg).unwrap().unwrap();
