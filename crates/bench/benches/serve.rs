@@ -1,0 +1,67 @@
+//! Serving hot-path benchmarks: shard `serve_batch` latency with the
+//! boundary cache disabled vs warmed, across batch sizes, plus the
+//! queue/batcher round-trip cost that bounds the tail at low batch
+//! occupancy.
+
+use bns_data::SyntheticSpec;
+use bns_gcn::engine::TrainedModel;
+use bns_nn::SageModel;
+use bns_partition::{MetisLikePartitioner, Partitioner};
+use bns_serve::{BatchPolicy, CacheConfig, Query, RankQueue, ServePlan};
+use bns_tensor::SeededRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn build_plan() -> ServePlan {
+    let ds = SyntheticSpec::reddit_sim().with_nodes(2_000).generate(1);
+    let part = MetisLikePartitioner::default().partition(&ds.graph, 4, 0);
+    let mut rng = SeededRng::new(9);
+    let model = TrainedModel::Sage(SageModel::new(
+        &[ds.feat_dim(), 64, ds.num_classes],
+        0.0,
+        &mut rng,
+    ));
+    ServePlan::build(&ds, &part, model)
+}
+
+fn bench_serve_batch(c: &mut Criterion) {
+    let plan = build_plan();
+    let mut rng = SeededRng::new(77);
+    let mine: Vec<u32> = (0..plan.owner.len() as u32)
+        .filter(|&v| plan.owner_of(v) == 0)
+        .filter(|_| rng.next_u64() % 3 == 0)
+        .take(64)
+        .collect();
+    for batch in [1usize, 8, 64] {
+        let targets = &mine[..batch.min(mine.len())];
+        let mut cold = plan.shard(0, CacheConfig::disabled());
+        c.bench_function(&format!("serve_batch_b{batch}_nocache"), |b| {
+            b.iter(|| black_box(cold.serve_batch(black_box(targets))))
+        });
+        let mut warm = plan.shard(0, CacheConfig::default());
+        warm.serve_batch(targets); // fill the cold region before timing
+        c.bench_function(&format!("serve_batch_b{batch}_cached"), |b| {
+            b.iter(|| black_box(warm.serve_batch(black_box(targets))))
+        });
+    }
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let queue = RankQueue::bounded(4096);
+    let policy = BatchPolicy::immediate(32);
+    let mut batch = Vec::new();
+    c.bench_function("rank_queue_push_pop32", |b| {
+        b.iter(|| {
+            let t0 = Instant::now();
+            for i in 0..32u32 {
+                queue.push(Query::new(i, t0));
+            }
+            queue.pop_batch(&policy, &mut batch);
+            black_box(batch.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_serve_batch, bench_queue);
+criterion_main!(benches);

@@ -23,6 +23,7 @@ pub mod exp_gat;
 pub mod exp_memory;
 pub mod exp_partition;
 pub mod exp_sampling;
+pub mod exp_serve;
 pub mod exp_throughput;
 pub mod exp_variance;
 

@@ -13,7 +13,7 @@
 //! hardware-independent throughput comparisons.
 
 use crate::exchange::{
-    exchange_features_serial, exchange_gradients_overlapped, exchange_selection,
+    exchange_features_eval, exchange_gradients_overlapped, exchange_selection,
     recv_boundary_blocks, send_boundary_rows, EpochExchange, ExchangeArena,
 };
 use crate::memory::epoch_activation_bytes;
@@ -256,6 +256,51 @@ pub enum TrainedModel {
 }
 
 impl TrainedModel {
+    /// Number of layers (the serving engine's neighborhood-expansion
+    /// depth `L`).
+    pub fn num_layers(&self) -> usize {
+        match self {
+            TrainedModel::Sage(m) => m.layers.len(),
+            TrainedModel::Gat(m) => m.layers.len(),
+            TrainedModel::Gcn(layers) => layers.len(),
+        }
+    }
+
+    /// Output dimension of the last layer — the number of classes the
+    /// model scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a model with no layers.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            TrainedModel::Sage(m) => m.layers.last().expect("empty model").d_out(),
+            TrainedModel::Gat(m) => m.layers.last().expect("empty model").w.cols(),
+            TrainedModel::Gcn(layers) => layers.last().expect("empty model").w.cols(),
+        }
+    }
+
+    /// Input feature dimension of the first layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a model with no layers.
+    pub fn feat_dim(&self) -> usize {
+        match self {
+            TrainedModel::Sage(m) => m.layers.first().expect("empty model").d_in(),
+            TrainedModel::Gat(m) => m.layers.first().expect("empty model").w.rows(),
+            TrainedModel::Gcn(layers) => layers.first().expect("empty model").w.rows(),
+        }
+    }
+
+    /// Logits for a specific set of nodes (`nodes.len() x num_classes`,
+    /// rows in the given order): the full-graph forward pass followed by
+    /// a row gather. The serving engine's minibatch path must reproduce
+    /// these rows bitwise (`crates/serve` tests hold it to that).
+    pub fn predict_logits(&self, ds: &Dataset, nodes: &[usize]) -> Matrix {
+        self.logits(ds).gather_rows(nodes)
+    }
+
     /// Full-graph logits on a dataset (evaluation mode, no dropout).
     ///
     /// # Panics
@@ -1005,13 +1050,18 @@ fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> R
             };
             let mut h = lp.features.clone();
             for (l, layer) in layers.iter().enumerate() {
-                let h_full = exchange_features_serial(
+                // Arena-backed full-boundary exchange: bitwise equal to
+                // the serial reference, but send staging and the
+                // boundary block reuse the rank's arena, so repeated
+                // eval/serving passes stop allocating here.
+                let h_full = exchange_features_eval(
                     &mut comm,
                     fex,
                     &h,
                     full_topo.selected.len(),
                     1.0,
                     tag_base + 129 + l as u64,
+                    &mut arena,
                 );
                 h = layer.forward_eval(
                     &full_topo.graph,

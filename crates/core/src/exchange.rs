@@ -220,6 +220,37 @@ pub fn exchange_features_serial(
     h_inner.vstack(&h_bd)
 }
 
+/// Arena-backed full-boundary exchange for evaluation and serving-time
+/// (no-sampling) passes: identical wire protocol and bitwise-identical
+/// result to [`exchange_features_serial`], but send staging comes from
+/// the arena's free list and the boundary block reuses the arena's
+/// capacity — so a rank that evaluates (or serves) repeatedly stops
+/// allocating on the exchange path after the first pass. Only the final
+/// `vstack` (whose lifetime is owned by the caller's layer loop)
+/// allocates.
+pub fn exchange_features_eval(
+    comm: &mut RankComm,
+    ex: &EpochExchange,
+    h_inner: &Matrix,
+    n_selected: usize,
+    feature_scale: f32,
+    tag: u64,
+    arena: &mut ExchangeArena,
+) -> Matrix {
+    send_boundary_rows(comm, ex, h_inner, tag, arena);
+    recv_boundary_blocks(
+        comm,
+        ex,
+        n_selected,
+        h_inner.cols(),
+        feature_scale,
+        tag,
+        arena,
+        None,
+    );
+    h_inner.vstack(arena.boundary())
+}
+
 /// Serial reference gradient exchange: sends boundary-row gradients
 /// back to their owners (scaled by `feature_scale`, the chain rule
 /// through the `H/p` rescale) and accumulates peers' contributions in

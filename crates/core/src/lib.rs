@@ -36,6 +36,8 @@
 //!   Tables 4, 5, 11 and 12: neighbor sampling (GraphSAGE), FastGCN,
 //!   LADIES, ClusterGCN, GraphSAINT, VR-GCN.
 //! * [`variance`] — empirical feature-approximation variance (Table 2).
+//! * [`model_io`] — versioned binary save/load for [`engine::TrainedModel`]
+//!   (train once, serve repeatedly — see `crates/serve`).
 //! * [`memory`] — the Eq. 4 memory model.
 //! * [`costsim`] — analytic throughput models for the ROC- and
 //!   CAGNET-style baselines of Fig. 4.
@@ -70,6 +72,7 @@ pub mod exchange;
 pub mod fullgraph;
 pub mod memory;
 pub mod minibatch;
+pub mod model_io;
 pub mod plan;
 pub mod sampling;
 pub mod variance;

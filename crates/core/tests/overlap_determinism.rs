@@ -16,8 +16,9 @@ use bns_comm::run_ranks;
 use bns_data::SyntheticSpec;
 use bns_gcn::engine::{train_with_plan, ModelArch, TrainConfig};
 use bns_gcn::exchange::{
-    exchange_features_serial, exchange_gradients_overlapped, exchange_gradients_serial,
-    exchange_selection, recv_boundary_blocks, send_boundary_rows, ExchangeArena,
+    exchange_features_eval, exchange_features_serial, exchange_gradients_overlapped,
+    exchange_gradients_serial, exchange_selection, recv_boundary_blocks, send_boundary_rows,
+    ExchangeArena,
 };
 use bns_gcn::plan::PartitionPlan;
 use bns_gcn::sampling::{build_epoch_topology, BoundarySampling};
@@ -64,7 +65,7 @@ fn check_world(k: usize, p: f64, seed: u64, threads: usize) {
             let d = 2 + ((seed + round) % 6) as usize;
             let mut data_rng = SeededRng::new(seed ^ (round << 8)).fork(me as u64);
             let h_inner = Matrix::random_normal(n_in, d, 0.0, 1.0, &mut data_rng);
-            let tag = 10 + round * 4;
+            let tag = 10 + round * 5;
 
             // Feature exchange: serial reference vs overlapped.
             let h_full = exchange_features_serial(&mut comm, &ex, &h_inner, n_sel, scale, tag);
@@ -75,6 +76,13 @@ fn check_world(k: usize, p: f64, seed: u64, threads: usize) {
                 &h_inner.vstack(arena.boundary()),
                 "feature exchange",
             );
+
+            // The one-call arena-backed eval/serving exchange (what the
+            // engine's selects_all eval path now uses) must also match
+            // the serial reference bitwise.
+            let h_eval =
+                exchange_features_eval(&mut comm, &ex, &h_inner, n_sel, scale, tag + 4, &mut arena);
+            assert_bitwise(&h_full, &h_eval, "eval exchange");
 
             // Segmented forward composed on the overlapped halo vs the
             // fused forward on the serial halo, identical RNG streams

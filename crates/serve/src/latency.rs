@@ -1,0 +1,156 @@
+//! Latency recording and tail-percentile reporting for the serving
+//! harness.
+//!
+//! Open-loop load generation measures each query's latency from its
+//! *intended* arrival time, not from when the generator managed to
+//! enqueue it — so queueing delay caused by an overloaded server shows
+//! up in the tail instead of being silently absorbed (the classic
+//! coordinated-omission mistake).
+
+use std::time::Duration;
+
+/// Collects per-query latencies (microseconds) for one shard worker;
+/// merged across shards into the final report.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples_us: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder with room for `cap` samples.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            samples_us: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Records one query latency.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples_us.push(latency.as_secs_f64() * 1e6);
+    }
+
+    /// Records a raw microsecond sample (for tests and merges).
+    pub fn record_us(&mut self, us: f64) {
+        self.samples_us.push(us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Absorbs another recorder's samples.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+    }
+
+    /// Nearest-rank quantile in microseconds (`q` in `[0, 1]`); 0 when
+    /// empty.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Full summary over a wall-clock window of `elapsed`.
+    pub fn summary(&self, elapsed: Duration) -> LatencySummary {
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pick = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        let count = sorted.len();
+        let mean = if count == 0 {
+            0.0
+        } else {
+            sorted.iter().sum::<f64>() / count as f64
+        };
+        let secs = elapsed.as_secs_f64();
+        LatencySummary {
+            count,
+            mean_us: mean,
+            p50_us: pick(0.50),
+            p99_us: pick(0.99),
+            p999_us: pick(0.999),
+            max_us: sorted.last().copied().unwrap_or(0.0),
+            qps: if secs > 0.0 { count as f64 / secs } else { 0.0 },
+        }
+    }
+}
+
+/// Percentile/throughput summary of one serving run (all times in
+/// microseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Completed queries.
+    pub count: usize,
+    /// Mean latency.
+    pub mean_us: f64,
+    /// Median latency.
+    pub p50_us: f64,
+    /// 99th-percentile latency.
+    pub p99_us: f64,
+    /// 99.9th-percentile latency.
+    pub p999_us: f64,
+    /// Worst observed latency.
+    pub max_us: f64,
+    /// Completed queries per second of wall-clock time.
+    pub qps: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut r = LatencyRecorder::default();
+        for us in 1..=1000 {
+            r.record_us(us as f64);
+        }
+        assert_eq!(r.quantile_us(0.5), 500.0);
+        assert_eq!(r.quantile_us(0.99), 990.0);
+        assert_eq!(r.quantile_us(0.999), 999.0);
+        assert_eq!(r.quantile_us(1.0), 1000.0);
+        // Out-of-window samples arrive in any order.
+        let mut shuffled = LatencyRecorder::default();
+        for us in [7.0, 1.0, 9.0, 3.0] {
+            shuffled.record_us(us);
+        }
+        assert_eq!(shuffled.quantile_us(0.5), 3.0);
+    }
+
+    #[test]
+    fn empty_recorder_is_zero() {
+        let r = LatencyRecorder::default();
+        assert_eq!(r.quantile_us(0.99), 0.0);
+        let s = r.summary(Duration::from_secs(1));
+        assert_eq!(s.count, 0);
+        assert_eq!(s.qps, 0.0);
+        assert_eq!(s.max_us, 0.0);
+    }
+
+    #[test]
+    fn summary_and_merge() {
+        let mut a = LatencyRecorder::with_capacity(2);
+        a.record(Duration::from_micros(100));
+        a.record(Duration::from_micros(300));
+        let mut b = LatencyRecorder::default();
+        b.record(Duration::from_micros(200));
+        a.merge(&b);
+        let s = a.summary(Duration::from_secs(3));
+        assert_eq!(s.count, 3);
+        assert!((s.mean_us - 200.0).abs() < 1e-6);
+        assert!((s.p50_us - 200.0).abs() < 1e-6);
+        assert!((s.max_us - 300.0).abs() < 1e-6);
+        assert!((s.qps - 1.0).abs() < 1e-9);
+    }
+}

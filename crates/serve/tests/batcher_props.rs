@@ -1,0 +1,86 @@
+//! Property tests for the rank queue and batcher: across arbitrary
+//! push/pop interleavings and policy knobs, no query is ever dropped,
+//! no batch exceeds its bound, and per-rank FIFO order is preserved.
+
+use bns_serve::{BatchPolicy, Query, RankQueue};
+use proptest::prelude::*;
+use std::time::Instant;
+
+fn q(node: u32) -> Query {
+    Query::new(node, Instant::now())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-threaded interleavings: an arbitrary script of pushes and
+    /// batched pops (linger 0 so pops never block on the clock).
+    #[test]
+    fn no_drop_no_overflow_fifo(
+        capacity in 1usize..32,
+        max_batch in 1usize..16,
+        ops in proptest::collection::vec(0usize..2, 1..200),
+    ) {
+        let queue = RankQueue::bounded(capacity);
+        let policy = BatchPolicy::immediate(max_batch);
+        let mut next = 0u32;
+        let mut popped: Vec<u32> = Vec::new();
+        let mut batch = Vec::new();
+        for op in ops {
+            if op == 1 {
+                // Skip pushes that would block the single thread.
+                if queue.len() < capacity {
+                    prop_assert!(queue.push(q(next)));
+                    next += 1;
+                }
+            } else if !queue.is_empty() {
+                prop_assert!(queue.pop_batch(&policy, &mut batch));
+                prop_assert!(!batch.is_empty(), "pop on non-empty queue returned nothing");
+                prop_assert!(batch.len() <= max_batch, "batch bound violated");
+                popped.extend(batch.iter().map(|x| x.node));
+            }
+        }
+        // Drain the remainder.
+        while !queue.is_empty() {
+            prop_assert!(queue.pop_batch(&policy, &mut batch));
+            prop_assert!(batch.len() <= max_batch);
+            popped.extend(batch.iter().map(|x| x.node));
+        }
+        // No drop + FIFO: exactly 0..next in order.
+        prop_assert_eq!(popped, (0..next).collect::<Vec<_>>());
+    }
+
+    /// Concurrent producer/consumer: every query pushed before close is
+    /// served exactly once, in order, whatever the capacity/batch/linger
+    /// mix — including pushes that block on a full queue.
+    #[test]
+    fn concurrent_producer_consumer_preserves_everything(
+        capacity in 1usize..8,
+        max_batch in 1usize..8,
+        n in 1u32..300,
+        linger_us in 0u64..200,
+    ) {
+        let queue = std::sync::Arc::new(RankQueue::bounded(capacity));
+        let producer = {
+            let queue = std::sync::Arc::clone(&queue);
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    assert!(queue.push(q(i)), "queue closed under producer");
+                }
+                queue.close();
+            })
+        };
+        let policy = BatchPolicy {
+            max_batch,
+            linger: std::time::Duration::from_micros(linger_us),
+        };
+        let mut seen: Vec<u32> = Vec::new();
+        let mut batch = Vec::new();
+        while queue.pop_batch(&policy, &mut batch) {
+            prop_assert!(batch.len() <= max_batch, "batch bound violated");
+            seen.extend(batch.iter().map(|x| x.node));
+        }
+        producer.join().unwrap();
+        prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+    }
+}

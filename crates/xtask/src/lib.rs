@@ -16,13 +16,16 @@
 //!    either forces a deliberate re-bless.
 //! 3. **Thread-spawn ban** — `thread::spawn` / `thread::Builder` are
 //!    confined to the communication layer (`crates/comm/src`), the
-//!    compute pool (`crates/tensor/src/pool.rs`), and the vendored loom
+//!    compute pool (`crates/tensor/src/pool.rs`), the serving worker
+//!    pool (`crates/serve/src/worker.rs`), and the vendored loom
 //!    scheduler. Test code (`tests/`, `benches/`, `#[cfg(test)]`
 //!    modules) is exempt.
 //! 4. **Determinism ban** — `HashMap`/`HashSet` are forbidden in the
-//!    hot kernels (aggregate, matmul, boundary exchange): their
-//!    iteration order is randomized per process, which would make
-//!    per-rank results irreproducible.
+//!    hot kernels (aggregate, matmul, boundary exchange, the per-query
+//!    serving path): their iteration order is randomized per process,
+//!    which would make per-rank results irreproducible — and in the
+//!    serving path a hashed lookup per boundary row is also the exact
+//!    cost the dense `slot_of` index exists to avoid.
 //! 5. **FMA ban** — `mul_add` and fused multiply-add intrinsics
 //!    (`fmadd`/`fmsub`/`vfma`) are forbidden in the kernel files: a
 //!    fused op rounds once where mul-then-add rounds twice, so any FMA
@@ -130,6 +133,8 @@ impl AuditConfig {
                 "crates/comm/src".into(),
                 // The compute pool owns the worker threads.
                 "crates/tensor/src/pool.rs".into(),
+                // The serving engine's per-shard workers.
+                "crates/serve/src/worker.rs".into(),
                 // The model checker's cooperative scheduler.
                 "vendor/loom".into(),
             ],
@@ -140,6 +145,10 @@ impl AuditConfig {
                 "crates/tensor/src/matrix.rs".into(),
                 "crates/tensor/src/simd.rs".into(),
                 "crates/core/src/exchange.rs".into(),
+                // The per-query serving hot path: closure expansion,
+                // feature gather, and the boundary cache.
+                "crates/serve/src/shard.rs".into(),
+                "crates/serve/src/cache.rs".into(),
             ],
             skip: vec![
                 "target".into(),
