@@ -123,6 +123,7 @@ const EXPERIMENTS: &[&str] = &[
     "table12",
     "table13",
     "fig9",
+    "ksweep",
     "ablations",
     "serve",
 ];
@@ -136,6 +137,7 @@ fn run_experiment(name: &str, scale: Scale) {
         "fig5" => exp_throughput::fig5(scale),
         "table6" => exp_throughput::table6(scale),
         "table12" => exp_throughput::table12(scale),
+        "ksweep" => exp_throughput::ksweep(scale),
         "table4" => exp_accuracy::table4(scale),
         "table5" => exp_accuracy::table5(scale),
         "table7" => exp_accuracy::table7(scale),

@@ -27,6 +27,7 @@ fn cfg(sampling: BoundarySampling, epochs: usize, arch: ModelArch) -> TrainConfi
         seed: 7,
         clip_norm: Some(1.0),
         pipeline: false,
+        workers: None,
     }
 }
 

@@ -78,6 +78,7 @@ fn engine_cfg(s: &AccuracySetup, sampling: BoundarySampling) -> TrainConfig {
         seed: 7,
         clip_norm: Some(1.0),
         pipeline: false,
+        workers: None,
     }
 }
 

@@ -89,6 +89,7 @@ pub fn table9(scale: Scale) {
                 seed: 7,
                 clip_norm: None,
                 pipeline: false,
+                workers: None,
             };
             let run = train_with_plan(&plan, &cfg);
             let sim = run.avg_sim_epoch_scaled(&CostModel::pcie3(), crate::wscale(&ds));

@@ -33,6 +33,7 @@ pub fn table10(scale: Scale) {
                 seed: 7,
                 clip_norm: None,
                 pipeline: false,
+                workers: None,
             };
             let run = train_with_plan(&plan, &cfg);
             run.avg_sim_epoch_scaled(&cost, crate::wscale(&ds)).total()

@@ -20,6 +20,7 @@ fn mem_cfg(p: f64) -> TrainConfig {
         seed: 1,
         clip_norm: None,
         pipeline: false,
+        workers: None,
     }
 }
 

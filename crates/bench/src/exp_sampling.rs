@@ -58,6 +58,7 @@ pub fn table11(scale: Scale) {
             seed: 7,
             clip_norm: None,
             pipeline: false,
+            workers: None,
         };
         let run = train_with_plan(&plan, &cfg);
         let t = run.avg_epoch_s();
@@ -112,6 +113,7 @@ pub fn table8(scale: Scale) {
                     seed: 7,
                     clip_norm: None,
                     pipeline: false,
+                    workers: None,
                 };
                 train_with_plan(&plan, &cfg)
             };

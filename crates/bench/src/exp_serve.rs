@@ -55,6 +55,7 @@ fn model_for(ds: &Arc<Dataset>, part: &Partitioning, scale: Scale) -> TrainedMod
         seed: DATA_SEED,
         clip_norm: Some(5.0),
         pipeline: false,
+        workers: None,
     };
     let t0 = Instant::now();
     let m = train(ds, part, &cfg).model;

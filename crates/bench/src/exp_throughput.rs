@@ -1,10 +1,11 @@
 //! Throughput and time-breakdown experiments: Figure 4 (throughput vs
 //! #partitions against ROC-sim / CAGNET-sim), Figure 5 (epoch time
-//! breakdown), Table 6 (papers100M breakdown at 192 partitions) and
-//! Table 12 (sampling overhead).
+//! breakdown), Table 6 (papers100M breakdown at 192 partitions),
+//! Table 12 (sampling overhead) and the `ksweep` oversubscription
+//! sweep (k far past the host core count).
 
 use crate::{f2, pct, print_table, Scale};
-use bns_comm::CostModel;
+use bns_comm::{CostModel, TrafficStats};
 use bns_data::Dataset;
 use bns_gcn::costsim::{cagnet_epoch_time, roc_epoch_time, LayerWorkload};
 use bns_gcn::engine::{train_with_plan, ModelArch, TrainConfig, TrainRun};
@@ -34,6 +35,7 @@ fn timing_cfg(scale: Scale, paper_hidden: &[usize], sampling: BoundarySampling) 
         seed: 1,
         clip_norm: None,
         pipeline: false,
+        workers: None,
     }
 }
 
@@ -200,6 +202,7 @@ pub fn table6(scale: Scale) {
             seed: 1,
             clip_norm: None,
             pipeline: false,
+            workers: None,
         };
         let run = run_for(&plan, &cfg);
         let sim = run.avg_sim_epoch_scaled(&cost, crate::wscale(&ds));
@@ -270,6 +273,53 @@ pub fn table12(scale: Scale) {
     print_table(
         "Table 12: sampling overhead (sampling time / epoch time), reddit-sim",
         &["sampler", "#partitions", "overhead"],
+        &rows,
+    );
+}
+
+/// Oversubscription sweep: partition counts far past the host core
+/// count on reddit-sim. The cooperative scheduler multiplexes all `k`
+/// rank tasks onto a fixed worker set (`BNS_WORKERS`, default the core
+/// count), so wall-clock epoch time must degrade smoothly with the
+/// extra partition bookkeeping rather than collapse under a
+/// thread-per-rank pile-up — and the loss at each `k` is a pure
+/// function of the seed, identical at any worker count.
+pub fn ksweep(scale: Scale) {
+    let ds = crate::reddit(scale);
+    let workers = bns_runtime::WorkerConfig::from_env().workers;
+    let mut ks = vec![2usize, 4, 8, 16, 32];
+    if matches!(scale, Scale::Full) {
+        ks.push(64);
+    }
+    let mut rows = Vec::new();
+    for &k in &ks {
+        let part = MetisLikePartitioner::default().partition(&ds.graph, k, 0);
+        let plan = Arc::new(PartitionPlan::build(&ds, &part));
+        let cfg = timing_cfg(scale, &[256, 256, 256], BoundarySampling::Bns { p: 0.1 });
+        let run = run_for(&plan, &cfg);
+        let last = run.epochs.last().expect("at least one epoch");
+        let sent: u64 = last
+            .traffic_per_rank
+            .iter()
+            .map(TrafficStats::total_bytes)
+            .sum();
+        rows.push(vec![
+            k.to_string(),
+            workers.min(k).to_string(),
+            format!("{:.1}ms", run.avg_epoch_s() * 1e3),
+            format!("{}MB", f2(sent as f64 / 1e6)),
+            format!("{:.6}", last.loss),
+        ]);
+    }
+    print_table(
+        &format!("k-sweep: oversubscription on reddit-sim (p=0.1, {workers} worker(s) available)"),
+        &[
+            "#partitions",
+            "workers used",
+            "epoch wall",
+            "boundary MB/epoch",
+            "final loss",
+        ],
         &rows,
     );
 }

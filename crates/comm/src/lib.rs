@@ -2,11 +2,17 @@
 //!
 //! The BNS-GCN paper trains with one GPU per graph partition, exchanging
 //! boundary-node features over Gloo/NCCL. This machine has no GPUs, so the
-//! reproduction runs **one OS thread per partition ("rank")** and routes
-//! all inter-partition traffic through this crate, which provides:
+//! reproduction runs **one logical endpoint per partition ("rank")** —
+//! scheduled either as dedicated OS threads ([`run_ranks`]) or as
+//! cooperative tasks multiplexed onto a fixed worker pool (the engine's
+//! `bns-runtime` scheduler; see DESIGN.md §12) — and routes all
+//! inter-partition traffic through this crate, which provides:
 //!
 //! * typed point-to-point [`RankComm::send`]/[`RankComm::recv`] over
-//!   std::sync::mpsc channels with tag matching,
+//!   std::sync::mpsc channels with tag matching, plus non-blocking
+//!   [`RankComm::try_recv`]/[`RankComm::try_recv_any`] and a per-rank
+//!   [`WakeFn`] mailbox hook so a cooperative scheduler can park a
+//!   waiting rank and reschedule it on message arrival,
 //! * the collectives the training loop needs (ring
 //!   [`RankComm::all_reduce_sum`], [`RankComm::all_gather`],
 //!   [`RankComm::barrier`], [`RankComm::broadcast`]),
@@ -47,5 +53,5 @@ mod sync;
 mod traffic;
 
 pub use cost::CostModel;
-pub use rank::{create_world, run_ranks, RankComm};
+pub use rank::{create_world, run_ranks, AllReduceOp, RankComm, WakeFn};
 pub use traffic::{TrafficClass, TrafficStats};

@@ -40,6 +40,26 @@ struct Message {
 /// A tagged message in flight: `(source rank, message)`.
 type Envelope = (usize, Message);
 
+/// Callback invoked after a message lands in a rank's inbox. The
+/// cooperative scheduler registers one per rank so a parked rank task
+/// is marked runnable the moment a peer enqueues for it.
+pub type WakeFn = Arc<dyn Fn() + Send + Sync>;
+
+/// Shared waker slot for one rank's inbox. Senders hold clones of the
+/// *destination's* slot and invoke the registered callback after
+/// enqueuing. Deliberately plain `std` sync even under `--cfg loom`:
+/// the loom mailbox models never register a waker, and a modeled mutex
+/// here would only inflate the checked state space (same policy as the
+/// telemetry counters, DESIGN.md §9).
+type WakerCell = std::sync::Mutex<Option<WakeFn>>;
+
+/// One outgoing edge of the mailbox mesh: the destination's inbox
+/// sender plus the destination's waker slot.
+struct Peer {
+    tx: Sender<Envelope>,
+    waker: Arc<WakerCell>,
+}
+
 /// One rank's endpoint in a simulated world of `world_size` ranks.
 ///
 /// Create a full world with [`create_world`] or spawn threads directly
@@ -55,8 +75,10 @@ type Envelope = (usize, Message);
 pub struct RankComm {
     rank: usize,
     world: usize,
-    to_peer: Vec<Option<Sender<Envelope>>>,
+    to_peer: Vec<Option<Peer>>,
     inbox: Receiver<Envelope>,
+    /// This rank's own waker slot (peers hold clones via [`Peer`]).
+    waker: Arc<WakerCell>,
     pending: Vec<VecDeque<Message>>,
     stats: TrafficStats,
     coll_seq: u64,
@@ -90,30 +112,38 @@ impl std::fmt::Debug for RankComm {
 /// Panics if `world_size == 0`.
 pub fn create_world(world_size: usize) -> Vec<RankComm> {
     assert!(world_size > 0, "world_size must be positive");
-    // One shared inbox per rank; senders[i][j] carries i -> j and is a
-    // clone of rank j's inbox sender.
-    let mut senders: Vec<Vec<Option<Sender<Envelope>>>> = (0..world_size)
+    // One shared inbox (and waker slot) per rank; senders[i][j] carries
+    // i -> j and is a clone of rank j's inbox sender.
+    let mut senders: Vec<Vec<Option<Peer>>> = (0..world_size)
         .map(|_| (0..world_size).map(|_| None).collect())
         .collect();
     let mut inboxes: Vec<Receiver<Envelope>> = Vec::with_capacity(world_size);
+    let mut wakers: Vec<Arc<WakerCell>> = Vec::with_capacity(world_size);
     for j in 0..world_size {
         let (s, r) = channel();
+        let w: Arc<WakerCell> = Arc::new(std::sync::Mutex::new(None));
         inboxes.push(r);
         for (i, row) in senders.iter_mut().enumerate() {
             if i != j {
-                row[j] = Some(s.clone());
+                row[j] = Some(Peer {
+                    tx: s.clone(),
+                    waker: Arc::clone(&w),
+                });
             }
         }
+        wakers.push(w);
     }
     senders
         .into_iter()
         .zip(inboxes)
+        .zip(wakers)
         .enumerate()
-        .map(|(rank, (to_peer, inbox))| RankComm {
+        .map(|(rank, ((to_peer, inbox), waker))| RankComm {
             rank,
             world: world_size,
             to_peer,
             inbox,
+            waker,
             pending: (0..world_size).map(|_| VecDeque::new()).collect(),
             stats: TrafficStats::new(),
             coll_seq: 0,
@@ -220,11 +250,29 @@ impl RankComm {
                 self.rank, self.mailbox_bytes, self.recorded_bytes
             );
         }
-        self.to_peer[to]
-            .as_ref()
-            .expect("sender missing")
-            .send((self.rank, msg))
-            .expect("peer disconnected");
+        let peer = self.to_peer[to].as_ref().expect("sender missing");
+        peer.tx.send((self.rank, msg)).expect("peer disconnected");
+        // Wake the destination *after* the enqueue so a woken task is
+        // guaranteed to observe the message on its next drain. The
+        // callback is cloned out of the slot before invocation so no
+        // lock is held while running scheduler code.
+        let wake = peer.waker.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        if let Some(wake) = wake {
+            wake();
+        }
+    }
+
+    /// Registers the callback peers invoke after enqueuing into this
+    /// rank's inbox (see [`WakeFn`]). A task-based caller registers its
+    /// scheduler waker once, before its first receive.
+    pub fn set_waker(&self, wake: WakeFn) {
+        *self.waker.lock().unwrap_or_else(|e| e.into_inner()) = Some(wake);
+    }
+
+    /// Removes any registered waker; subsequent sends to this rank no
+    /// longer invoke a callback.
+    pub fn clear_waker(&self) {
+        *self.waker.lock().unwrap_or_else(|e| e.into_inner()) = None;
     }
 
     /// Receives the next message from rank `from` with tag `tag`,
@@ -378,6 +426,117 @@ impl RankComm {
         }
     }
 
+    /// Pops the first pending message matching `(from, tag)`, if any.
+    fn take_pending(&mut self, from: usize, tag: u64) -> Option<Message> {
+        let pos = self.pending[from].iter().position(|m| m.tag == tag)?;
+        let msg = self.pending[from].remove(pos).unwrap();
+        self.note_delivery(from, &msg);
+        Some(msg)
+    }
+
+    /// Moves every queued inbox envelope into the per-source pending
+    /// queues without blocking. Returns `true` if the channel is
+    /// disconnected (all peers dropped) *and* fully drained.
+    fn drain_inbox(&mut self) -> bool {
+        use crate::sync::mpsc::TryRecvError;
+        loop {
+            match self.inbox.try_recv() {
+                Ok((src, msg)) => self.pending[src].push_back(msg),
+                Err(TryRecvError::Empty) => return false,
+                Err(TryRecvError::Disconnected) => return true,
+            }
+        }
+    }
+
+    /// Blocks until at least one more envelope arrives, buffering it
+    /// into the pending queues. The blocking drivers of the poll-style
+    /// operations ([`AllReduceOp`] and the exchange ops in `bns-gcn`)
+    /// use this between polls; cooperative callers park their task
+    /// instead and rely on the [`WakeFn`] hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every peer has disconnected.
+    pub fn wait_message(&mut self) {
+        let (src, msg) = self.inbox.recv().expect("peer disconnected");
+        self.pending[src].push_back(msg);
+    }
+
+    fn downcast_msg<T: Wire>(&self, msg: Message, from: usize, tag: u64) -> T {
+        let bytes = msg.bytes;
+        let v = *msg.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving tag {tag} from {from}",
+                self.rank
+            )
+        });
+        debug_assert_eq!(
+            v.wire_bytes(),
+            bytes,
+            "rank {}: wire size changed in transit (tag {tag} from {from})",
+            self.rank
+        );
+        v
+    }
+
+    /// Non-blocking [`RankComm::recv`]: returns `None` if no matching
+    /// message has arrived yet. Never blocks; anything else queued in
+    /// the inbox is buffered exactly as the blocking path would.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-receive, out-of-bounds rank, payload type
+    /// mismatch, or if every peer disconnected with no match queued.
+    pub fn try_recv<T: Wire>(&mut self, from: usize, tag: u64) -> Option<T> {
+        assert!(from < self.world, "recv from rank {from} out of bounds");
+        assert_ne!(from, self.rank, "self-receive is not allowed");
+        let msg = match self.take_pending(from, tag) {
+            Some(m) => m,
+            None => {
+                let disconnected = self.drain_inbox();
+                match self.take_pending(from, tag) {
+                    Some(m) => m,
+                    None => {
+                        assert!(!disconnected, "rank {}: peer disconnected", self.rank);
+                        return None;
+                    }
+                }
+            }
+        };
+        Some(self.downcast_msg(msg, from, tag))
+    }
+
+    /// Non-blocking [`RankComm::recv_any`]: returns the first match in
+    /// candidate order (pending first, then freshly drained arrivals),
+    /// or `None` if nothing matching has arrived. Never blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is empty, contains this rank or an out-of-bounds
+    /// rank, on payload type mismatch, or if every peer disconnected
+    /// with no match queued.
+    pub fn try_recv_any<T: Wire>(&mut self, tag: u64, from: &[usize]) -> Option<(usize, T)> {
+        assert!(!from.is_empty(), "recv_any needs at least one candidate");
+        for &src in from {
+            assert!(src < self.world, "recv from rank {src} out of bounds");
+            assert_ne!(src, self.rank, "self-receive is not allowed");
+        }
+        let mut disconnected = false;
+        for pass in 0..2 {
+            for &src in from {
+                if let Some(msg) = self.take_pending(src, tag) {
+                    let v = self.downcast_msg(msg, src, tag);
+                    return Some((src, v));
+                }
+            }
+            if pass == 0 {
+                disconnected = self.drain_inbox();
+            }
+        }
+        assert!(!disconnected, "rank {}: peer disconnected", self.rank);
+        None
+    }
+
     fn next_coll_tag(&mut self, step: u64) -> u64 {
         COLL_BASE + self.coll_seq * MAX_COLL_STEPS + step
     }
@@ -397,47 +556,10 @@ impl RankComm {
     /// chunk-size mismatch) or ranks call collectives in different orders.
     pub fn all_reduce_sum(&mut self, buf: &mut [f32]) {
         let _span = bns_telemetry::span!("all_reduce", elems = buf.len());
-        let k = self.world;
-        if k == 1 || buf.is_empty() {
-            self.finish_collective();
-            return;
+        let mut op = AllReduceOp::begin(self, buf);
+        while !op.poll(self, buf) {
+            self.wait_message();
         }
-        let r = self.rank;
-        let next = (r + 1) % k;
-        let prev = (r + k - 1) % k;
-        let len = buf.len();
-        let chunk_range = move |c: usize| {
-            let start = c * len / k;
-            let end = (c + 1) * len / k;
-            start..end
-        };
-        // Reduce-scatter: after k-1 steps rank r fully owns chunk (r+1)%k.
-        for s in 0..k - 1 {
-            let send_c = (r + k - s) % k;
-            let recv_c = (r + k - s - 1) % k;
-            let tag = self.next_coll_tag(s as u64);
-            let out: Vec<f32> = buf[chunk_range(send_c)].to_vec();
-            self.send_raw(next, tag, out, TrafficClass::AllReduce);
-            let inc: Vec<f32> = self.recv(prev, tag);
-            let range = chunk_range(recv_c);
-            assert_eq!(inc.len(), range.len(), "all_reduce_sum length mismatch");
-            for (d, s) in buf[range].iter_mut().zip(&inc) {
-                *d += s;
-            }
-        }
-        // All-gather the reduced chunks.
-        for s in 0..k - 1 {
-            let send_c = (r + 1 + k - s) % k;
-            let recv_c = (r + k - s) % k;
-            let tag = self.next_coll_tag((k - 1 + s) as u64);
-            let out: Vec<f32> = buf[chunk_range(send_c)].to_vec();
-            self.send_raw(next, tag, out, TrafficClass::AllReduce);
-            let inc: Vec<f32> = self.recv(prev, tag);
-            let range = chunk_range(recv_c);
-            assert_eq!(inc.len(), range.len(), "all_reduce_sum length mismatch");
-            buf[range].copy_from_slice(&inc);
-        }
-        self.finish_collective();
     }
 
     /// Gathers one value from every rank; returns them indexed by rank.
@@ -531,6 +653,117 @@ impl RankComm {
     /// Blocks until every rank has reached the barrier.
     pub fn barrier(&mut self) {
         let _ = self.all_gather(Vec::<u8>::new(), TrafficClass::Control);
+    }
+}
+
+/// An in-flight ring all-reduce (sum) that a cooperative task can
+/// drive incrementally: [`AllReduceOp::begin`] issues the first chunk
+/// send, each [`AllReduceOp::poll`] consumes whatever ring traffic has
+/// arrived and issues follow-up sends, and the task parks between
+/// polls. [`RankComm::all_reduce_sum`] is the blocking driver over the
+/// same op, so both paths execute the identical send/receive/fold
+/// sequence — reduce-scatter then all-gather, chunk `c` =
+/// `c*len/k..(c+1)*len/k`, additions in ring order — and stay bitwise
+/// identical regardless of how the waiting is implemented.
+///
+/// The same `buf` (same length, same rank) must be passed to `begin`
+/// and every `poll`.
+pub struct AllReduceOp {
+    seq: u64,
+    step: usize,
+    total_steps: usize,
+    done: bool,
+}
+
+impl AllReduceOp {
+    /// Starts the collective; every rank must call it in the same
+    /// collective order with equal-length buffers. A world of one (or
+    /// an empty buffer) completes immediately.
+    pub fn begin(comm: &mut RankComm, buf: &mut [f32]) -> Self {
+        let k = comm.world;
+        let seq = comm.coll_seq;
+        if k == 1 || buf.is_empty() {
+            comm.finish_collective();
+            return Self {
+                seq,
+                step: 0,
+                total_steps: 0,
+                done: true,
+            };
+        }
+        let op = Self {
+            seq,
+            step: 0,
+            total_steps: 2 * (k - 1),
+            done: false,
+        };
+        op.send_step(comm, buf);
+        op
+    }
+
+    fn chunk_range(k: usize, len: usize, c: usize) -> std::ops::Range<usize> {
+        (c * len / k)..((c + 1) * len / k)
+    }
+
+    /// Issues the send for the current ring step. Reduce-scatter steps
+    /// (`step < k-1`) send chunk `(r+k-step)%k`; all-gather steps send
+    /// chunk `(r+1+k-s)%k` with `s = step-(k-1)`. The per-step tag
+    /// index equals `step` in both phases.
+    fn send_step(&self, comm: &mut RankComm, buf: &[f32]) {
+        let k = comm.world;
+        let r = comm.rank;
+        let next = (r + 1) % k;
+        let send_c = if self.step < k - 1 {
+            (r + k - self.step) % k
+        } else {
+            let s = self.step - (k - 1);
+            (r + 1 + k - s) % k
+        };
+        let tag = COLL_BASE + self.seq * MAX_COLL_STEPS + self.step as u64;
+        let out: Vec<f32> = buf[Self::chunk_range(k, buf.len(), send_c)].to_vec();
+        comm.send_raw(next, tag, out, TrafficClass::AllReduce);
+    }
+
+    /// Completes as many ring steps as arrived messages allow; returns
+    /// `true` once the collective has finished. Never blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths disagree across ranks (detected as a
+    /// chunk-size mismatch).
+    pub fn poll(&mut self, comm: &mut RankComm, buf: &mut [f32]) -> bool {
+        while !self.done {
+            let k = comm.world;
+            let r = comm.rank;
+            let prev = (r + k - 1) % k;
+            let tag = COLL_BASE + self.seq * MAX_COLL_STEPS + self.step as u64;
+            let Some(inc) = comm.try_recv::<Vec<f32>>(prev, tag) else {
+                return false;
+            };
+            let len = buf.len();
+            if self.step < k - 1 {
+                let recv_c = (r + k - self.step - 1) % k;
+                let range = Self::chunk_range(k, len, recv_c);
+                assert_eq!(inc.len(), range.len(), "all_reduce_sum length mismatch");
+                for (d, s) in buf[range].iter_mut().zip(&inc) {
+                    *d += s;
+                }
+            } else {
+                let s = self.step - (k - 1);
+                let recv_c = (r + k - s) % k;
+                let range = Self::chunk_range(k, len, recv_c);
+                assert_eq!(inc.len(), range.len(), "all_reduce_sum length mismatch");
+                buf[range].copy_from_slice(&inc);
+            }
+            self.step += 1;
+            if self.step == self.total_steps {
+                self.done = true;
+                comm.finish_collective();
+            } else {
+                self.send_step(comm, buf);
+            }
+        }
+        true
     }
 }
 

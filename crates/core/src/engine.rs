@@ -1,10 +1,18 @@
 //! The partition-parallel training engine — Algorithm 1 of the paper.
 //!
-//! One OS thread per partition. Every epoch each rank: (1) samples its
+//! One **cooperative task** per partition, multiplexed onto a fixed OS
+//! worker set by `bns-runtime` (`BNS_WORKERS`, default the machine's
+//! available parallelism) — so `k` can exceed the core count without
+//! oversubscribing the machine. Every epoch each rank: (1) samples its
 //! boundary set and broadcasts the selection (lines 4–7), (2) runs the
 //! layer loop, exchanging boundary features before each layer's forward
 //! and boundary-feature *gradients* after each layer's backward (lines
 //! 8–13), (3) all-reduces weight gradients and steps Adam (lines 14–15).
+//! Each blocking receive is a yield point: the task parks and the worker
+//! picks up another runnable rank; message arrival re-schedules it. All
+//! numeric work happens at fixed points in each rank's program order
+//! with fixed fold orders, so results are bitwise identical at any
+//! worker count (see DESIGN.md §12).
 //!
 //! Instrumentation: wall-clock per phase (sampling / compute /
 //! communication / reduce — the paper's Fig. 5 and Tables 6, 12
@@ -13,13 +21,13 @@
 //! hardware-independent throughput comparisons.
 
 use crate::exchange::{
-    exchange_features_eval, exchange_gradients_overlapped, exchange_selection,
-    recv_boundary_blocks, send_boundary_rows, EpochExchange, ExchangeArena,
+    send_boundary_rows, swap_boundary_stale, BoundaryRecvOp, EpochExchange, ExchangeArena,
+    GradRecvOp, SelectionOp,
 };
 use crate::memory::epoch_activation_bytes;
-use crate::plan::PartitionPlan;
+use crate::plan::{LocalPartition, PartitionPlan};
 use crate::sampling::{build_epoch_topology, BoundarySampling, EpochTopology};
-use bns_comm::{run_ranks, CostModel, RankComm, TrafficClass, TrafficStats};
+use bns_comm::{create_world, AllReduceOp, CostModel, RankComm, TrafficClass, TrafficStats};
 use bns_data::{Dataset, Labels};
 use bns_nn::loss::{bce_with_logits, softmax_cross_entropy};
 use bns_nn::metrics::{accuracy_counts, multilabel_counts, F1Counts};
@@ -30,7 +38,7 @@ use bns_nn::{
 use bns_partition::Partitioning;
 use bns_telemetry::Timed;
 use bns_tensor::{Matrix, SeededRng};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Which model architecture the engine trains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +88,11 @@ pub struct TrainConfig {
     /// Compare simulated times with
     /// [`SimulatedEpoch::pipelined_total`].
     pub pipeline: bool,
+    /// Scheduler workers the rank tasks are multiplexed onto (`None` =
+    /// `BNS_WORKERS`, or the machine's available parallelism). Purely a
+    /// scheduling knob: any value produces bitwise-identical results
+    /// for a fixed seed.
+    pub workers: Option<usize>,
 }
 
 impl TrainConfig {
@@ -96,6 +109,7 @@ impl TrainConfig {
             seed: 0,
             clip_norm: None,
             pipeline: false,
+            workers: None,
         }
     }
 
@@ -113,6 +127,7 @@ impl TrainConfig {
             seed: 0,
             clip_norm: None,
             pipeline: false,
+            workers: None,
         }
     }
 
@@ -130,6 +145,7 @@ impl TrainConfig {
             seed: 0,
             clip_norm: None,
             pipeline: false,
+            workers: None,
         }
     }
 
@@ -147,6 +163,7 @@ impl TrainConfig {
             seed: 0,
             clip_norm: None,
             pipeline: false,
+            workers: None,
         }
     }
 }
@@ -681,10 +698,80 @@ pub fn train_with_plan(plan: &Arc<PartitionPlan>, cfg: &TrainConfig) -> TrainRun
         "pipelined training requires a static sampling strategy (p = 0 or 1)"
     );
     let k = plan.k;
+    let workers = cfg
+        .workers
+        .map(|w| w.max(1))
+        .unwrap_or_else(|| bns_runtime::WorkerConfig::from_env().workers)
+        .min(k);
+    let budget = bns_tensor::ThreadConfig::from_env();
     let cfg = Arc::new(cfg.clone());
-    let plan2 = Arc::clone(plan);
-    let outputs: Vec<RankOutput> = run_ranks(k, move |comm| rank_worker(comm, &plan2, &cfg));
+    let slots: Vec<Arc<Mutex<Option<RankOutput>>>> =
+        (0..k).map(|_| Arc::new(Mutex::new(None))).collect();
+    let tasks: Vec<Box<dyn bns_runtime::Task>> = create_world(k)
+        .into_iter()
+        .map(|comm| {
+            let me = comm.rank();
+            Box::new(RankTask::new(
+                comm,
+                Arc::clone(plan),
+                Arc::clone(&cfg),
+                Arc::clone(&slots[me]),
+            )) as Box<dyn bns_runtime::Task>
+        })
+        .collect();
+    bns_runtime::run_tasks(tasks, workers, |w| WorkerGuard::install(w, workers, budget));
+    let outputs: Vec<RankOutput> = slots
+        .iter()
+        .map(|s| {
+            s.lock()
+                .unwrap()
+                .take()
+                .expect("rank task ran to completion")
+        })
+        .collect();
     assemble_run(plan, outputs)
+}
+
+/// Per-scheduler-worker kernel context: installs this worker's share of
+/// the kernel thread budget (`BNS_THREADS` or available parallelism,
+/// split over the *worker* count — not `k`, which may be far larger) as
+/// its thread pool, and flushes the worker's pool + SIMD dispatch
+/// counters when the worker drains out. Kernel dispatch is
+/// calling-thread-local, so per-worker draining covers every kernel any
+/// rank task ran on this worker.
+struct WorkerGuard {
+    pool: Option<Arc<bns_tensor::ThreadPool>>,
+    guard: Option<bns_tensor::pool::PoolGuard>,
+    share: usize,
+}
+
+impl WorkerGuard {
+    fn install(worker: usize, workers: usize, budget: bns_tensor::ThreadConfig) -> Self {
+        // A share of 1 means no pool — kernels stay on the serial path.
+        let share = budget.for_ranks(workers, worker).threads;
+        let pool = (share > 1).then(|| bns_tensor::ThreadPool::new(share));
+        let guard = pool
+            .as_ref()
+            .map(|p| bns_tensor::pool::install(Arc::clone(p)));
+        Self { pool, guard, share }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        self.guard.take();
+        if let Some(p) = &self.pool {
+            let stats = p.stats();
+            bns_telemetry::counter_add("pool.parallel_dispatches", stats.parallel_dispatches);
+            bns_telemetry::counter_add("pool.jobs", stats.jobs);
+        }
+        bns_telemetry::counter_add("pool.threads", self.share as u64);
+        let simd_stats = bns_tensor::simd::take_thread_stats();
+        bns_telemetry::counter_add("simd.dispatch.scalar", simd_stats.scalar);
+        bns_telemetry::counter_add("simd.dispatch.sse2", simd_stats.sse2);
+        bns_telemetry::counter_add("simd.dispatch.avx2", simd_stats.avx2);
+        bns_telemetry::counter_add("simd.dispatch.neon", simd_stats.neon);
+    }
 }
 
 fn assemble_run(plan: &PartitionPlan, outputs: Vec<RankOutput>) -> TrainRun {
@@ -805,327 +892,763 @@ fn estimate_flops(
     3.0 * fwd // forward + ~2x backward
 }
 
-fn rank_worker(mut comm: RankComm, plan: &PartitionPlan, cfg: &TrainConfig) -> RankOutput {
-    let me = comm.rank();
-    // Per-rank kernel pool: the machine budget (BNS_THREADS or available
-    // parallelism) split so ranks x threads <= budget. A share of 1 means
-    // no pool — kernels stay on the serial path.
-    let pool_threads = bns_tensor::ThreadConfig::from_env()
-        .for_ranks(plan.k)
-        .threads;
-    let pool = (pool_threads > 1).then(|| bns_tensor::ThreadPool::new(pool_threads));
-    let _pool_guard = pool
-        .as_ref()
-        .map(|p| bns_tensor::pool::install(Arc::clone(p)));
-    let lp = Arc::clone(&plan.parts[me]);
-    let n_in = lp.n_inner();
-    let d_out_classes = plan.num_classes;
-    let dims = dims_of(cfg, plan.feat_dim, d_out_classes);
-    let mut layers = build_layers(cfg, plan.feat_dim, d_out_classes);
-    let num_layers = layers.len();
-    let mut opt = Adam::new(cfg.lr);
-    let mut rng = SeededRng::new(cfg.seed ^ 0x5eed_0000).fork(me as u64 + 1);
-    let edge_seed = cfg.seed ^ 0xed6e_5eed;
+// ---------------------------------------------------------------------
+// The rank task
+// ---------------------------------------------------------------------
 
-    // Static full topology for evaluation (and for static sampling).
-    let full_topo: EpochTopology = build_epoch_topology(
-        &lp,
-        &BoundarySampling::Bns { p: 1.0 },
-        0,
-        edge_seed,
-        &mut rng,
-    );
-    let mut full_exchange: Option<EpochExchange> = None;
-    let mut static_topo: Option<EpochTopology> = None;
-    let mut static_exchange: Option<EpochExchange> = None;
+/// Where a rank's epoch loop resumes on its next step (layer indices
+/// ride in the variant). Every `*Wait`/`*Recv` state is a park point:
+/// the task steps out of the scheduler there when a poll comes up
+/// empty, and a peer's send re-schedules it.
+#[derive(Debug, Clone, Copy)]
+enum RankState {
+    /// Build the model and the static full topology (runs on a worker,
+    /// not the caller, so the k builds proceed in parallel).
+    Init,
+    /// Start an epoch: snapshot traffic, arm the sample timer, build or
+    /// reuse the epoch topology and issue the selection exchange.
+    EpochStart,
+    /// Waiting for peer boundary selections.
+    SelectionWait,
+    /// Send boundary rows for layer `l`, run the inner-edge partial.
+    ForwardSend(usize),
+    /// Waiting for layer `l`'s boundary feature blocks.
+    ForwardRecv(usize),
+    /// Loss and the gradient seed.
+    Loss,
+    /// Segmented backward for layer `l`, issue the gradient sends.
+    BackwardCompute(usize),
+    /// Waiting for layer `l`'s boundary gradient blocks.
+    BackwardRecv(usize),
+    /// Flatten gradients and start the ring all-reduce.
+    ReduceBegin,
+    /// Waiting on all-reduce chunks; applies the step when done.
+    ReduceWait,
+    /// Decide whether to evaluate; issue the full-selection exchange if
+    /// one is needed and not cached yet.
+    EvalBegin,
+    /// Waiting for peers' full boundary selections (first eval only).
+    EvalSelectionWait,
+    /// Send full boundary rows for eval layer `l`.
+    EvalSend(usize),
+    /// Waiting for eval layer `l`'s boundary blocks.
+    EvalRecv(usize),
+    /// Record the epoch's stats and advance the epoch counter.
+    EpochEnd,
+    /// Publish the rank's output.
+    Finished,
+}
 
-    let mut epochs_out: Vec<RankEpoch> = Vec::with_capacity(cfg.epochs);
-    let mut peak_mem = 0u64;
-    // PipeGCN-style staleness caches (per layer).
-    let mut stale_feats: Vec<Option<Matrix>> = vec![None; num_layers];
-    let mut stale_grads: Vec<Option<Vec<Vec<f32>>>> = vec![None; num_layers];
-    // Reusable exchange buffers: in steady state the per-layer comm
-    // path performs no heap allocation.
-    let mut arena = ExchangeArena::new();
+/// What one `advance` call decided.
+enum Flow {
+    /// Keep advancing within this step.
+    More,
+    /// Park until a message wakes the task.
+    Pending,
+    /// The rank is done.
+    Done,
+}
 
-    for epoch in 0..cfg.epochs {
-        let tag_base = (epoch as u64) * 256;
-        let traffic_start = comm.stats().clone();
-        let _epoch_span = bns_telemetry::span!("epoch", rank = me, epoch = epoch);
+/// The exchange the eval pass uses: the epoch's own when the training
+/// strategy keeps every boundary node (a global property, so every
+/// rank takes that branch together — reusing it skips an extra
+/// Control-class round-trip), the cached full-boundary one otherwise.
+/// A free function over the two slots so callers can keep disjoint
+/// `&mut` borrows of the rest of the task.
+fn eval_exchange<'a>(
+    selects_all: bool,
+    static_exchange: &'a Option<EpochExchange>,
+    full_exchange: &'a Option<EpochExchange>,
+) -> &'a EpochExchange {
+    if selects_all {
+        static_exchange.as_ref().expect("built in phase 1")
+    } else {
+        full_exchange.as_ref().expect("built at first eval")
+    }
+}
 
-        // ---- Phase 1: boundary sampling + selection exchange ----
-        let t0 = Timed::with_args("sample", &[("epoch", epoch.into())]);
-        let (topo, exchange): (&EpochTopology, &EpochExchange) = if cfg.sampling.is_static() {
-            if static_topo.is_none() {
-                let t = build_epoch_topology(&lp, &cfg.sampling, epoch, edge_seed, &mut rng);
-                let ex = exchange_selection(&mut comm, &lp, &t.selected, tag_base);
-                static_topo = Some(t);
-                static_exchange = Some(ex);
-            }
-            (
-                static_topo.as_ref().unwrap(),
-                static_exchange.as_ref().unwrap(),
-            )
-        } else {
-            let t = build_epoch_topology(&lp, &cfg.sampling, epoch, edge_seed, &mut rng);
-            let ex = exchange_selection(&mut comm, &lp, &t.selected, tag_base);
-            static_topo = Some(t);
-            static_exchange = Some(ex);
-            (
-                static_topo.as_ref().unwrap(),
-                static_exchange.as_ref().unwrap(),
-            )
-        };
-        let sample_s = t0.stop();
-        let n_sel = topo.selected.len();
-        bns_telemetry::counter_add("sampler.boundary_kept", n_sel as u64);
-        bns_telemetry::counter_add("sampler.boundary_total", lp.n_boundary() as u64);
+/// One partition's training loop as a resumable task: the old
+/// thread-per-rank worker body unrolled into an explicit state machine
+/// so a blocked receive parks the task instead of an OS thread. The
+/// fields are what used to be stack locals; the scheduler never
+/// overlaps steps of one task, so they carry across parks exactly like
+/// locals across a blocking call. Every RNG draw, message send and
+/// floating-point fold happens at the same point in this rank's
+/// program order as in the blocking code — which is why results are
+/// bitwise identical at any worker count (DESIGN.md §12).
+struct RankTask {
+    me: usize,
+    comm: RankComm,
+    plan: Arc<PartitionPlan>,
+    cfg: Arc<TrainConfig>,
+    lp: Arc<LocalPartition>,
+    out: Arc<Mutex<Option<RankOutput>>>,
 
-        // ---- Phase 2+3: layer loop ----
-        let mut compute_s = 0.0f64;
-        let mut comm_s = 0.0f64;
-        let mut flops = 0.0f64;
-        let mut caches: Vec<TrainCache> = Vec::with_capacity(num_layers);
-        let mut h = lp.features.clone();
-        for l in 0..num_layers {
-            // Issue all boundary-feature sends (non-blocking), run the
-            // inner-edge partial work while the blocks are in flight,
-            // then drain arrivals in whatever order they land. The fold
-            // happens into fixed per-owner row ranges, so the result is
-            // bitwise identical to the serial exchange.
-            let tc = Timed::with_args("exchange", &[("epoch", epoch.into()), ("layer", l.into())]);
-            send_boundary_rows(&mut comm, exchange, &h, tag_base + 1 + l as u64, &mut arena);
-            comm_s += tc.stop();
-            let tk = Timed::with_args("compute", &[("epoch", epoch.into()), ("layer", l.into())]);
-            let partial = layers[l].forward_inner(&topo.graph, &h, &topo.gcn_scale, &mut rng);
-            compute_s += tk.stop();
-            let tc = Timed::with_args("exchange", &[("epoch", epoch.into()), ("layer", l.into())]);
-            recv_boundary_blocks(
-                &mut comm,
-                exchange,
-                n_sel,
-                h.cols(),
-                topo.feature_scale,
-                tag_base + 1 + l as u64,
-                &mut arena,
-                if cfg.pipeline {
-                    Some(&mut stale_feats[l])
-                } else {
-                    None
-                },
-            );
-            comm_s += tc.stop();
-            let tk = Timed::with_args("compute", &[("epoch", epoch.into()), ("layer", l.into())]);
-            let (h_next, cache) = layers[l].forward_boundary(
-                &topo.graph,
-                partial,
-                &h,
-                arena.boundary(),
-                &topo.row_scale,
-                &topo.gcn_scale,
-                &mut rng,
-            );
-            compute_s += tk.stop();
-            flops += estimate_flops(
-                cfg.arch,
-                topo.graph.num_edges(),
-                n_in,
-                n_in + n_sel,
-                dims[l],
-                dims[l + 1],
-            );
-            caches.push(cache);
-            h = h_next;
+    // Model state (lives for the whole run).
+    n_in: usize,
+    dims: Vec<usize>,
+    layers: Vec<AnyLayer>,
+    num_layers: usize,
+    opt: Adam,
+    rng: SeededRng,
+    edge_seed: u64,
+
+    // Topology / exchange caches.
+    full_topo: Option<EpochTopology>,
+    full_exchange: Option<EpochExchange>,
+    static_topo: Option<EpochTopology>,
+    static_exchange: Option<EpochExchange>,
+
+    // Run-long accumulators.
+    epochs_out: Vec<RankEpoch>,
+    peak_mem: u64,
+    stale_feats: Vec<Option<Matrix>>,
+    stale_grads: Vec<Option<Vec<Vec<f32>>>>,
+    arena: ExchangeArena,
+
+    // Per-epoch state (the old loop's locals). The phase timers live
+    // here so a phase that parks mid-way keeps accumulating wall time —
+    // the same wall time the blocking receive used to spend inside
+    // `recv`, so phase breakdowns stay comparable.
+    epoch: usize,
+    tag_base: u64,
+    traffic_start: TrafficStats,
+    epoch_span: Option<Timed>,
+    sample_timer: Option<Timed>,
+    exchange_timer: Option<Timed>,
+    reduce_timer: Option<Timed>,
+    eval_span: Option<Timed>,
+    sample_s: f64,
+    compute_s: f64,
+    comm_s: f64,
+    reduce_s: f64,
+    flops: f64,
+    n_sel: usize,
+    h: Matrix,
+    partial: Option<TrainPartial>,
+    caches: Vec<TrainCache>,
+    layer_grads: Vec<Vec<Matrix>>,
+    d: Matrix,
+    local_loss: f64,
+    global_loss: f64,
+    flat: Vec<f32>,
+    grad_shapes: Vec<(usize, usize)>,
+    epoch_traffic: TrafficStats,
+    eval_h: Matrix,
+    val: Option<(u64, u64, u64)>,
+    test: Option<(u64, u64, u64)>,
+
+    // In-flight comm operation slots (at most one active at a time).
+    sel_op: Option<SelectionOp>,
+    bd_op: Option<BoundaryRecvOp>,
+    grad_op: Option<GradRecvOp>,
+    ar_op: Option<AllReduceOp>,
+    state: RankState,
+}
+
+impl RankTask {
+    fn new(
+        comm: RankComm,
+        plan: Arc<PartitionPlan>,
+        cfg: Arc<TrainConfig>,
+        out: Arc<Mutex<Option<RankOutput>>>,
+    ) -> Self {
+        let me = comm.rank();
+        let lp = Arc::clone(&plan.parts[me]);
+        let n_in = lp.n_inner();
+        let dims = dims_of(&cfg, plan.feat_dim, plan.num_classes);
+        let num_layers = dims.len() - 1;
+        let opt = Adam::new(cfg.lr);
+        let rng = SeededRng::new(cfg.seed ^ 0x5eed_0000).fork(me as u64 + 1);
+        let edge_seed = cfg.seed ^ 0xed6e_5eed;
+        let traffic = comm.stats().clone();
+        let epochs = cfg.epochs;
+        Self {
+            me,
+            comm,
+            plan,
+            cfg,
+            lp,
+            out,
+            n_in,
+            dims,
+            layers: Vec::new(),
+            num_layers,
+            opt,
+            rng,
+            edge_seed,
+            full_topo: None,
+            full_exchange: None,
+            static_topo: None,
+            static_exchange: None,
+            epochs_out: Vec::with_capacity(epochs),
+            peak_mem: 0,
+            stale_feats: vec![None; num_layers],
+            stale_grads: vec![None; num_layers],
+            arena: ExchangeArena::new(),
+            epoch: 0,
+            tag_base: 0,
+            traffic_start: traffic.clone(),
+            epoch_span: None,
+            sample_timer: None,
+            exchange_timer: None,
+            reduce_timer: None,
+            eval_span: None,
+            sample_s: 0.0,
+            compute_s: 0.0,
+            comm_s: 0.0,
+            reduce_s: 0.0,
+            flops: 0.0,
+            n_sel: 0,
+            h: Matrix::zeros(0, 0),
+            partial: None,
+            caches: Vec::new(),
+            layer_grads: Vec::new(),
+            d: Matrix::zeros(0, 0),
+            local_loss: 0.0,
+            global_loss: 0.0,
+            flat: Vec::new(),
+            grad_shapes: Vec::new(),
+            epoch_traffic: traffic,
+            eval_h: Matrix::zeros(0, 0),
+            val: None,
+            test: None,
+            sel_op: None,
+            bd_op: None,
+            grad_op: None,
+            ar_op: None,
+            state: RankState::Init,
         }
+    }
 
-        // ---- Loss ----
-        let tk = Timed::with_args("compute", &[("epoch", epoch.into())]);
-        let (local_loss, mut dlogits) = match &lp.labels {
-            Labels::Single(labels) => {
-                let (loss, d, _) = softmax_cross_entropy(&h, labels, &lp.train_local);
-                (loss, d)
+    /// Phase 1 epilogue (fresh-build and static-reuse paths both land
+    /// here): stop the sample timer, record the sampler counters and
+    /// reset the epoch accumulators.
+    fn finish_sample(&mut self) {
+        self.sample_s = self.sample_timer.take().expect("sample timer armed").stop();
+        let topo = self.static_topo.as_ref().expect("epoch topology built");
+        self.n_sel = topo.selected.len();
+        bns_telemetry::counter_add("sampler.boundary_kept", self.n_sel as u64);
+        bns_telemetry::counter_add("sampler.boundary_total", self.lp.n_boundary() as u64);
+        self.compute_s = 0.0;
+        self.comm_s = 0.0;
+        self.flops = 0.0;
+        self.caches.clear();
+        self.h = self.lp.features.clone();
+        self.state = RankState::ForwardSend(0);
+    }
+
+    /// Runs one state transition. `Pending` means a poll came up empty
+    /// and the task should park; everything else either continues
+    /// immediately or finishes the rank.
+    fn advance(&mut self) -> Flow {
+        match self.state {
+            RankState::Init => {
+                self.layers = build_layers(&self.cfg, self.plan.feat_dim, self.plan.num_classes);
+                // Static full topology for evaluation (and for static
+                // sampling). Built here rather than in `new` so the k
+                // builds run on the worker set in parallel, and so the
+                // RNG draw order matches the old per-thread code.
+                self.full_topo = Some(build_epoch_topology(
+                    &self.lp,
+                    &BoundarySampling::Bns { p: 1.0 },
+                    0,
+                    self.edge_seed,
+                    &mut self.rng,
+                ));
+                self.state = RankState::EpochStart;
+                Flow::More
             }
-            Labels::Multi(y) => bce_with_logits(&h, y, &lp.train_local),
-        };
-        dlogits.scale(1.0 / plan.global_train.max(1) as f32);
-        compute_s += tk.stop();
+            RankState::EpochStart => {
+                if self.epoch == self.cfg.epochs {
+                    self.state = RankState::Finished;
+                    return Flow::More;
+                }
+                let epoch = self.epoch;
+                self.tag_base = (epoch as u64) * 256;
+                self.traffic_start = self.comm.stats().clone();
+                self.epoch_span = Some(Timed::with_args(
+                    "epoch",
+                    &[("rank", self.me.into()), ("epoch", epoch.into())],
+                ));
 
-        // ---- Backward ----
-        let mut layer_grads: Vec<Vec<Matrix>> = Vec::with_capacity(num_layers);
-        let mut d = dlogits;
-        for l in (0..num_layers).rev() {
-            let tk = Timed::with_args("compute", &[("epoch", epoch.into()), ("layer", l.into())]);
-            let (mut d_inner, d_bd, grads) =
-                layers[l].backward_seg(&topo.graph, &caches[l], &d, n_in);
-            compute_s += tk.stop();
-            layer_grads.push(grads);
-            let tc = Timed::with_args("exchange", &[("epoch", epoch.into()), ("layer", l.into())]);
-            if !exchange.is_trivial() {
-                exchange_gradients_overlapped(
-                    &mut comm,
-                    exchange,
-                    &mut d_inner,
-                    &d_bd,
+                // ---- Phase 1: boundary sampling + selection exchange ----
+                self.sample_timer = Some(Timed::with_args("sample", &[("epoch", epoch.into())]));
+                if self.cfg.sampling.is_static() && self.static_topo.is_some() {
+                    self.finish_sample();
+                    return Flow::More;
+                }
+                let t = build_epoch_topology(
+                    &self.lp,
+                    &self.cfg.sampling,
+                    epoch,
+                    self.edge_seed,
+                    &mut self.rng,
+                );
+                self.sel_op = Some(SelectionOp::begin(
+                    &mut self.comm,
+                    &self.lp,
+                    &t.selected,
+                    self.tag_base,
+                ));
+                self.static_topo = Some(t);
+                self.state = RankState::SelectionWait;
+                Flow::More
+            }
+            RankState::SelectionWait => {
+                let done = {
+                    let op = self.sel_op.as_mut().expect("selection op in flight");
+                    op.poll(&mut self.comm, &self.lp)
+                };
+                if !done {
+                    return Flow::Pending;
+                }
+                let op = self.sel_op.take().expect("selection op in flight");
+                self.static_exchange = Some(op.finish());
+                self.finish_sample();
+                Flow::More
+            }
+            RankState::ForwardSend(l) => {
+                // Issue all boundary-feature sends (non-blocking), run
+                // the inner-edge partial work while the blocks are in
+                // flight, then drain arrivals in whatever order they
+                // land. The fold happens into fixed per-owner row
+                // ranges, so the result is bitwise identical to the
+                // serial exchange.
+                let epoch = self.epoch;
+                let tag = self.tag_base + 1 + l as u64;
+                let ex = self.static_exchange.as_ref().expect("selection exchanged");
+                let topo = self.static_topo.as_ref().expect("epoch topology built");
+                let tc =
+                    Timed::with_args("exchange", &[("epoch", epoch.into()), ("layer", l.into())]);
+                send_boundary_rows(&mut self.comm, ex, &self.h, tag, &mut self.arena);
+                self.comm_s += tc.stop();
+                let tk =
+                    Timed::with_args("compute", &[("epoch", epoch.into()), ("layer", l.into())]);
+                self.partial = Some(self.layers[l].forward_inner(
+                    &topo.graph,
+                    &self.h,
+                    &topo.gcn_scale,
+                    &mut self.rng,
+                ));
+                self.compute_s += tk.stop();
+                self.exchange_timer = Some(Timed::with_args(
+                    "exchange",
+                    &[("epoch", epoch.into()), ("layer", l.into())],
+                ));
+                self.bd_op = Some(BoundaryRecvOp::begin(
+                    ex,
+                    self.n_sel,
+                    self.h.cols(),
                     topo.feature_scale,
-                    tag_base + 64 + l as u64,
-                    &mut arena,
-                    if cfg.pipeline {
-                        Some(&mut stale_grads[l])
+                    tag,
+                    &mut self.arena,
+                ));
+                self.state = RankState::ForwardRecv(l);
+                Flow::More
+            }
+            RankState::ForwardRecv(l) => {
+                let done = {
+                    let op = self.bd_op.as_mut().expect("boundary recv in flight");
+                    let ex = self.static_exchange.as_ref().expect("selection exchanged");
+                    op.poll(&mut self.comm, ex, &mut self.arena)
+                };
+                if !done {
+                    return Flow::Pending;
+                }
+                self.bd_op = None;
+                self.comm_s += self
+                    .exchange_timer
+                    .take()
+                    .expect("exchange timer armed")
+                    .stop();
+                swap_boundary_stale(
+                    &mut self.arena,
+                    if self.cfg.pipeline {
+                        Some(&mut self.stale_feats[l])
                     } else {
                         None
                     },
                 );
+                let epoch = self.epoch;
+                let topo = self.static_topo.as_ref().expect("epoch topology built");
+                let tk =
+                    Timed::with_args("compute", &[("epoch", epoch.into()), ("layer", l.into())]);
+                let partial = self.partial.take().expect("forward partial staged");
+                let (h_next, cache) = self.layers[l].forward_boundary(
+                    &topo.graph,
+                    partial,
+                    &self.h,
+                    self.arena.boundary(),
+                    &topo.row_scale,
+                    &topo.gcn_scale,
+                    &mut self.rng,
+                );
+                self.compute_s += tk.stop();
+                self.flops += estimate_flops(
+                    self.cfg.arch,
+                    topo.graph.num_edges(),
+                    self.n_in,
+                    self.n_in + self.n_sel,
+                    self.dims[l],
+                    self.dims[l + 1],
+                );
+                self.caches.push(cache);
+                self.h = h_next;
+                self.state = if l + 1 < self.num_layers {
+                    RankState::ForwardSend(l + 1)
+                } else {
+                    RankState::Loss
+                };
+                Flow::More
             }
-            comm_s += tc.stop();
-            d = d_inner;
-        }
-        layer_grads.reverse();
-
-        // ---- Gradient all-reduce + step ----
-        let tr = Timed::with_args("reduce", &[("epoch", epoch.into())]);
-        let grad_refs: Vec<&Matrix> = layer_grads.iter().flatten().collect();
-        let mut flat = flatten(&grad_refs);
-        flat.push(local_loss as f32);
-        comm.all_reduce_sum(&mut flat);
-        let global_loss = *flat.last().unwrap() as f64 / plan.global_train.max(1) as f64;
-        flat.pop();
-        if me == 0 {
-            bns_telemetry::gauge_set("epoch.loss", global_loss);
-            bns_telemetry::series_push("epoch.loss", epoch as u64, global_loss);
-        }
-        if let Some(clip) = cfg.clip_norm {
-            let norm = flat.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt() as f32;
-            if norm > clip {
-                let s = clip / norm;
-                for x in &mut flat {
-                    *x *= s;
+            RankState::Loss => {
+                let epoch = self.epoch;
+                let tk = Timed::with_args("compute", &[("epoch", epoch.into())]);
+                let (local_loss, mut dlogits) = match &self.lp.labels {
+                    Labels::Single(labels) => {
+                        let (loss, d, _) =
+                            softmax_cross_entropy(&self.h, labels, &self.lp.train_local);
+                        (loss, d)
+                    }
+                    Labels::Multi(y) => bce_with_logits(&self.h, y, &self.lp.train_local),
+                };
+                dlogits.scale(1.0 / self.plan.global_train.max(1) as f32);
+                self.compute_s += tk.stop();
+                self.local_loss = local_loss;
+                self.d = dlogits;
+                self.layer_grads.clear();
+                self.state = RankState::BackwardCompute(self.num_layers - 1);
+                Flow::More
+            }
+            RankState::BackwardCompute(l) => {
+                let epoch = self.epoch;
+                let topo = self.static_topo.as_ref().expect("epoch topology built");
+                let tk =
+                    Timed::with_args("compute", &[("epoch", epoch.into()), ("layer", l.into())]);
+                let (d_inner, d_bd, grads) =
+                    self.layers[l].backward_seg(&topo.graph, &self.caches[l], &self.d, self.n_in);
+                self.compute_s += tk.stop();
+                self.layer_grads.push(grads);
+                self.d = d_inner;
+                self.exchange_timer = Some(Timed::with_args(
+                    "exchange",
+                    &[("epoch", epoch.into()), ("layer", l.into())],
+                ));
+                let ex = self.static_exchange.as_ref().expect("selection exchanged");
+                if ex.is_trivial() {
+                    self.comm_s += self
+                        .exchange_timer
+                        .take()
+                        .expect("exchange timer armed")
+                        .stop();
+                    self.state = if l == 0 {
+                        RankState::ReduceBegin
+                    } else {
+                        RankState::BackwardCompute(l - 1)
+                    };
+                    return Flow::More;
                 }
+                self.grad_op = Some(GradRecvOp::begin(
+                    &mut self.comm,
+                    ex,
+                    &d_bd,
+                    topo.feature_scale,
+                    self.tag_base + 64 + l as u64,
+                    &mut self.arena,
+                ));
+                self.state = RankState::BackwardRecv(l);
+                Flow::More
             }
-        }
-        let mut grad_mats: Vec<Matrix> = grad_refs
-            .iter()
-            .map(|m| Matrix::zeros(m.rows(), m.cols()))
-            .collect();
-        {
-            let mut muts: Vec<&mut Matrix> = grad_mats.iter_mut().collect();
-            unflatten_into(&flat, &mut muts);
-        }
-        {
-            let g_refs: Vec<&Matrix> = grad_mats.iter().collect();
-            let mut params: Vec<&mut Matrix> =
-                layers.iter_mut().flat_map(|l| l.params_mut()).collect();
-            opt.step(&mut params, &g_refs);
-        }
-        let reduce_s = tr.stop();
+            RankState::BackwardRecv(l) => {
+                let done = {
+                    let op = self.grad_op.as_mut().expect("gradient recv in flight");
+                    let ex = self.static_exchange.as_ref().expect("selection exchanged");
+                    op.poll(&mut self.comm, ex, &mut self.arena)
+                };
+                if !done {
+                    return Flow::Pending;
+                }
+                let op = self.grad_op.take().expect("gradient recv in flight");
+                let ex = self.static_exchange.as_ref().expect("selection exchanged");
+                op.finish(
+                    ex,
+                    &mut self.d,
+                    &mut self.arena,
+                    if self.cfg.pipeline {
+                        Some(&mut self.stale_grads[l])
+                    } else {
+                        None
+                    },
+                );
+                self.comm_s += self
+                    .exchange_timer
+                    .take()
+                    .expect("exchange timer armed")
+                    .stop();
+                self.state = if l == 0 {
+                    RankState::ReduceBegin
+                } else {
+                    RankState::BackwardCompute(l - 1)
+                };
+                Flow::More
+            }
+            RankState::ReduceBegin => {
+                let epoch = self.epoch;
+                self.layer_grads.reverse();
+                self.reduce_timer = Some(Timed::with_args("reduce", &[("epoch", epoch.into())]));
+                let grad_refs: Vec<&Matrix> = self.layer_grads.iter().flatten().collect();
+                self.grad_shapes = grad_refs.iter().map(|m| (m.rows(), m.cols())).collect();
+                let mut flat = flatten(&grad_refs);
+                flat.push(self.local_loss as f32);
+                self.flat = flat;
+                self.ar_op = Some(AllReduceOp::begin(&mut self.comm, &mut self.flat));
+                self.state = RankState::ReduceWait;
+                Flow::More
+            }
+            RankState::ReduceWait => {
+                let done = {
+                    let op = self.ar_op.as_mut().expect("all-reduce in flight");
+                    op.poll(&mut self.comm, &mut self.flat)
+                };
+                if !done {
+                    return Flow::Pending;
+                }
+                self.ar_op = None;
+                let global_train = self.plan.global_train.max(1) as f64;
+                self.global_loss = *self.flat.last().expect("loss slot") as f64 / global_train;
+                self.flat.pop();
+                if self.me == 0 {
+                    bns_telemetry::gauge_set("epoch.loss", self.global_loss);
+                    bns_telemetry::series_push("epoch.loss", self.epoch as u64, self.global_loss);
+                }
+                if let Some(clip) = self.cfg.clip_norm {
+                    let norm = self
+                        .flat
+                        .iter()
+                        .map(|x| (*x as f64).powi(2))
+                        .sum::<f64>()
+                        .sqrt() as f32;
+                    if norm > clip {
+                        let s = clip / norm;
+                        for x in &mut self.flat {
+                            *x *= s;
+                        }
+                    }
+                }
+                let mut grad_mats: Vec<Matrix> = self
+                    .grad_shapes
+                    .iter()
+                    .map(|&(r, c)| Matrix::zeros(r, c))
+                    .collect();
+                {
+                    let mut muts: Vec<&mut Matrix> = grad_mats.iter_mut().collect();
+                    unflatten_into(&self.flat, &mut muts);
+                }
+                {
+                    let g_refs: Vec<&Matrix> = grad_mats.iter().collect();
+                    let mut params: Vec<&mut Matrix> = self
+                        .layers
+                        .iter_mut()
+                        .flat_map(|l| l.params_mut())
+                        .collect();
+                    self.opt.step(&mut params, &g_refs);
+                }
+                self.reduce_s = self.reduce_timer.take().expect("reduce timer armed").stop();
 
-        // ---- Memory model ----
-        let mem = epoch_activation_bytes(n_in, n_sel, &dims, cfg.dropout > 0.0);
-        peak_mem = peak_mem.max(mem);
+                // ---- Memory model ----
+                let mem = epoch_activation_bytes(
+                    self.n_in,
+                    self.n_sel,
+                    &self.dims,
+                    self.cfg.dropout > 0.0,
+                );
+                self.peak_mem = self.peak_mem.max(mem);
 
-        // Snapshot training traffic before the (full-boundary) eval
-        // pass so timing/traffic stats reflect training only.
-        let traffic = comm.stats().since(&traffic_start);
-
-        // ---- Evaluation ----
-        let do_eval =
-            epoch + 1 == cfg.epochs || (cfg.eval_every > 0 && (epoch + 1) % cfg.eval_every == 0);
-        let (val, test) = if do_eval {
-            let _eval_span = bns_telemetry::span!("eval", epoch = epoch);
-            // When the training strategy already keeps every boundary
-            // node (a global property, so every rank takes this branch
-            // together), the epoch's selection state IS the full one —
-            // reuse it and skip the extra Control-class round-trip.
-            let fex: &EpochExchange = if cfg.sampling.selects_all() {
-                static_exchange.as_ref().expect("built in phase 1")
-            } else {
-                if full_exchange.is_none() {
-                    full_exchange = Some(exchange_selection(
-                        &mut comm,
-                        &lp,
-                        &full_topo.selected,
-                        tag_base + 128,
+                // Snapshot training traffic before the (full-boundary)
+                // eval pass so timing/traffic stats reflect training
+                // only.
+                self.epoch_traffic = self.comm.stats().since(&self.traffic_start);
+                self.state = RankState::EvalBegin;
+                Flow::More
+            }
+            RankState::EvalBegin => {
+                let epoch = self.epoch;
+                let do_eval = epoch + 1 == self.cfg.epochs
+                    || (self.cfg.eval_every > 0 && (epoch + 1).is_multiple_of(self.cfg.eval_every));
+                if !do_eval {
+                    self.val = None;
+                    self.test = None;
+                    self.state = RankState::EpochEnd;
+                    return Flow::More;
+                }
+                self.eval_span = Some(Timed::with_args("eval", &[("epoch", epoch.into())]));
+                if !self.cfg.sampling.selects_all() && self.full_exchange.is_none() {
+                    let selected = &self
+                        .full_topo
+                        .as_ref()
+                        .expect("full topology built")
+                        .selected;
+                    self.sel_op = Some(SelectionOp::begin(
+                        &mut self.comm,
+                        &self.lp,
+                        selected,
+                        self.tag_base + 128,
                     ));
+                    self.state = RankState::EvalSelectionWait;
+                    return Flow::More;
                 }
-                full_exchange.as_ref().unwrap()
-            };
-            let mut h = lp.features.clone();
-            for (l, layer) in layers.iter().enumerate() {
+                self.eval_h = self.lp.features.clone();
+                self.state = RankState::EvalSend(0);
+                Flow::More
+            }
+            RankState::EvalSelectionWait => {
+                let done = {
+                    let op = self.sel_op.as_mut().expect("selection op in flight");
+                    op.poll(&mut self.comm, &self.lp)
+                };
+                if !done {
+                    return Flow::Pending;
+                }
+                let op = self.sel_op.take().expect("selection op in flight");
+                self.full_exchange = Some(op.finish());
+                self.eval_h = self.lp.features.clone();
+                self.state = RankState::EvalSend(0);
+                Flow::More
+            }
+            RankState::EvalSend(l) => {
                 // Arena-backed full-boundary exchange: bitwise equal to
                 // the serial reference, but send staging and the
                 // boundary block reuse the rank's arena, so repeated
                 // eval/serving passes stop allocating here.
-                let h_full = exchange_features_eval(
-                    &mut comm,
-                    fex,
-                    &h,
-                    full_topo.selected.len(),
+                let tag = self.tag_base + 129 + l as u64;
+                let ex = eval_exchange(
+                    self.cfg.sampling.selects_all(),
+                    &self.static_exchange,
+                    &self.full_exchange,
+                );
+                send_boundary_rows(&mut self.comm, ex, &self.eval_h, tag, &mut self.arena);
+                let n_full = self
+                    .full_topo
+                    .as_ref()
+                    .expect("full topology built")
+                    .selected
+                    .len();
+                self.bd_op = Some(BoundaryRecvOp::begin(
+                    ex,
+                    n_full,
+                    self.eval_h.cols(),
                     1.0,
-                    tag_base + 129 + l as u64,
-                    &mut arena,
-                );
-                h = layer.forward_eval(
-                    &full_topo.graph,
-                    &h_full,
-                    n_in,
-                    &full_topo.row_scale,
-                    &full_topo.gcn_scale,
-                    &mut rng,
-                );
+                    tag,
+                    &mut self.arena,
+                ));
+                self.state = RankState::EvalRecv(l);
+                Flow::More
             }
-            let score_of = |rows: &[usize]| -> (u64, u64, u64) {
-                match &lp.labels {
-                    Labels::Single(labels) => {
-                        let (c, t) = accuracy_counts(&h, labels, rows);
-                        (c as u64, t as u64, 0)
-                    }
-                    Labels::Multi(y) => {
-                        let c = multilabel_counts(&h, y, rows);
-                        (c.tp, c.fp, c.fn_)
-                    }
+            RankState::EvalRecv(l) => {
+                let done = {
+                    let op = self.bd_op.as_mut().expect("boundary recv in flight");
+                    let ex = eval_exchange(
+                        self.cfg.sampling.selects_all(),
+                        &self.static_exchange,
+                        &self.full_exchange,
+                    );
+                    op.poll(&mut self.comm, ex, &mut self.arena)
+                };
+                if !done {
+                    return Flow::Pending;
                 }
-            };
-            (
-                Some(score_of(&lp.val_local)),
-                Some(score_of(&lp.test_local)),
-            )
-        } else {
-            (None, None)
-        };
+                self.bd_op = None;
+                let full = self.full_topo.as_ref().expect("full topology built");
+                let h_full = self.eval_h.vstack(self.arena.boundary());
+                self.eval_h = self.layers[l].forward_eval(
+                    &full.graph,
+                    &h_full,
+                    self.n_in,
+                    &full.row_scale,
+                    &full.gcn_scale,
+                    &mut self.rng,
+                );
+                if l + 1 < self.num_layers {
+                    self.state = RankState::EvalSend(l + 1);
+                    return Flow::More;
+                }
+                let score_of = |h: &Matrix, rows: &[usize]| -> (u64, u64, u64) {
+                    match &self.lp.labels {
+                        Labels::Single(labels) => {
+                            let (c, t) = accuracy_counts(h, labels, rows);
+                            (c as u64, t as u64, 0)
+                        }
+                        Labels::Multi(y) => {
+                            let c = multilabel_counts(h, y, rows);
+                            (c.tp, c.fp, c.fn_)
+                        }
+                    }
+                };
+                let val = score_of(&self.eval_h, &self.lp.val_local);
+                let test = score_of(&self.eval_h, &self.lp.test_local);
+                self.val = Some(val);
+                self.test = Some(test);
+                if let Some(t) = self.eval_span.take() {
+                    t.stop();
+                }
+                self.state = RankState::EpochEnd;
+                Flow::More
+            }
+            RankState::EpochEnd => {
+                self.epochs_out.push(RankEpoch {
+                    loss: self.global_loss,
+                    sample_s: self.sample_s,
+                    compute_s: self.compute_s,
+                    comm_s: self.comm_s,
+                    reduce_s: self.reduce_s,
+                    traffic: self.epoch_traffic.clone(),
+                    flops: self.flops,
+                    selected: self.n_sel,
+                    val: self.val.take(),
+                    test: self.test.take(),
+                });
+                if let Some(t) = self.epoch_span.take() {
+                    t.stop();
+                }
+                self.epoch += 1;
+                self.state = RankState::EpochStart;
+                Flow::More
+            }
+            RankState::Finished => {
+                self.arena.flush_counters();
+                let output = RankOutput {
+                    epochs: std::mem::take(&mut self.epochs_out),
+                    peak_mem: self.peak_mem,
+                    boundary: self.lp.n_boundary(),
+                    layers: (self.me == 0).then(|| std::mem::take(&mut self.layers)),
+                };
+                *self.out.lock().unwrap() = Some(output);
+                Flow::Done
+            }
+        }
+    }
+}
 
-        epochs_out.push(RankEpoch {
-            loss: global_loss,
-            sample_s,
-            compute_s,
-            comm_s,
-            reduce_s,
-            traffic,
-            flops,
-            selected: n_sel,
-            val,
-            test,
-        });
+impl bns_runtime::Task for RankTask {
+    fn bind(&mut self, waker: bns_runtime::Waker) {
+        // Senders poke this rank's waker right after enqueuing into its
+        // mailbox, so a park that raced a delivery becomes an immediate
+        // re-run (NOTIFIED) instead of a lost wakeup.
+        self.comm.set_waker(Arc::new(move || waker.wake()));
     }
 
-    if let Some(p) = &pool {
-        let stats = p.stats();
-        bns_telemetry::counter_add("pool.parallel_dispatches", stats.parallel_dispatches);
-        bns_telemetry::counter_add("pool.jobs", stats.jobs);
-    }
-    bns_telemetry::counter_add("pool.threads", pool_threads as u64);
-    // SIMD kernel dispatches resolve on this (rank) thread, so the
-    // thread-local counts drained here cover every kernel this rank ran.
-    let simd_stats = bns_tensor::simd::take_thread_stats();
-    bns_telemetry::counter_add("simd.dispatch.scalar", simd_stats.scalar);
-    bns_telemetry::counter_add("simd.dispatch.sse2", simd_stats.sse2);
-    bns_telemetry::counter_add("simd.dispatch.avx2", simd_stats.avx2);
-    bns_telemetry::counter_add("simd.dispatch.neon", simd_stats.neon);
-    arena.flush_counters();
-
-    RankOutput {
-        epochs: epochs_out,
-        peak_mem,
-        boundary: lp.n_boundary(),
-        layers: if me == 0 { Some(layers) } else { None },
+    fn step(&mut self) -> bns_runtime::Step {
+        // Spans recorded during this step attribute to this rank, not
+        // to whichever OS worker the scheduler picked.
+        bns_telemetry::set_thread_rank(self.me);
+        loop {
+            match self.advance() {
+                Flow::More => {}
+                Flow::Pending => return bns_runtime::Step::Park,
+                Flow::Done => return bns_runtime::Step::Done,
+            }
+        }
     }
 }
 
@@ -1347,6 +1870,7 @@ mod tests {
             arch: ModelArch::Sage,
             clip_norm: None,
             pipeline: false,
+            workers: None,
         };
         let full = train_full(
             &ds,

@@ -83,27 +83,80 @@ fn per_owner_selection(
 /// which local rows each peer wants (Algorithm 1's selection
 /// broadcast). The relative-position vectors are moved into the sends —
 /// no clone on the send path.
+///
+/// Blocking driver over [`SelectionOp`]; cooperative tasks use the op
+/// directly and park between polls.
 pub fn exchange_selection(
     comm: &mut RankComm,
     lp: &LocalPartition,
     selected: &[usize],
     tag: u64,
 ) -> EpochExchange {
-    let k = comm.world_size();
-    let me = comm.rank();
-    let mut owner_sel = Vec::new();
-    for (owner, range, rel) in per_owner_selection(lp, selected) {
-        comm.send(owner, tag, rel, TrafficClass::Control);
-        owner_sel.push((owner, range));
+    let mut op = SelectionOp::begin(comm, lp, selected, tag);
+    while !op.poll(comm, lp) {
+        comm.wait_message();
     }
-    let mut rows_to_send: Vec<Vec<usize>> = vec![Vec::new(); k];
-    for j in (0..k).filter(|&j| j != me) {
-        let rel: Vec<u32> = comm.recv(j, tag);
-        rows_to_send[j] = rel.iter().map(|&p| lp.send_lists[j][p as usize]).collect();
+    op.finish()
+}
+
+/// An in-flight selection exchange: [`SelectionOp::begin`] issues every
+/// send, each [`SelectionOp::poll`] consumes whichever peer selections
+/// have arrived, and [`SelectionOp::finish`] yields the
+/// [`EpochExchange`] once polling reported completion. The result is a
+/// pure function of the message contents, so arrival order (and
+/// therefore scheduling) cannot change it.
+pub struct SelectionOp {
+    tag: u64,
+    owner_sel: Vec<(usize, Range<usize>)>,
+    rows_to_send: Vec<Vec<usize>>,
+    remaining: Vec<usize>,
+}
+
+impl SelectionOp {
+    /// Sends this rank's per-owner selections; never blocks.
+    pub fn begin(comm: &mut RankComm, lp: &LocalPartition, selected: &[usize], tag: u64) -> Self {
+        let k = comm.world_size();
+        let me = comm.rank();
+        let mut owner_sel = Vec::new();
+        for (owner, range, rel) in per_owner_selection(lp, selected) {
+            comm.send(owner, tag, rel, TrafficClass::Control);
+            owner_sel.push((owner, range));
+        }
+        Self {
+            tag,
+            owner_sel,
+            rows_to_send: vec![Vec::new(); k],
+            remaining: (0..k).filter(|&j| j != me).collect(),
+        }
     }
-    EpochExchange {
-        rows_to_send,
-        owner_sel,
+
+    /// Consumes every peer selection that has arrived; returns `true`
+    /// once all peers have reported. Never blocks.
+    pub fn poll(&mut self, comm: &mut RankComm, lp: &LocalPartition) -> bool {
+        while !self.remaining.is_empty() {
+            let Some((src, rel)) = comm.try_recv_any::<Vec<u32>>(self.tag, &self.remaining) else {
+                return false;
+            };
+            self.rows_to_send[src] = rel
+                .iter()
+                .map(|&p| lp.send_lists[src][p as usize])
+                .collect();
+            self.remaining.retain(|&j| j != src);
+        }
+        true
+    }
+
+    /// The completed exchange.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`SelectionOp::poll`] returned `true`.
+    pub fn finish(self) -> EpochExchange {
+        assert!(self.remaining.is_empty(), "selection exchange incomplete");
+        EpochExchange {
+            rows_to_send: self.rows_to_send,
+            owner_sel: self.owner_sel,
+        }
     }
 }
 
@@ -332,37 +385,20 @@ pub fn recv_boundary_blocks(
     arena: &mut ExchangeArena,
     stale: Option<&mut Option<Matrix>>,
 ) {
-    arena.reset_h_bd(n_selected, d);
-    let mut remaining: Vec<usize> = ex
-        .owner_sel
-        .iter()
-        .filter(|(_, r)| !r.is_empty())
-        .map(|(o, _)| *o)
-        .collect();
-    while !remaining.is_empty() {
-        let (src, data): (usize, Vec<f32>) = comm.recv_any(tag, &remaining);
-        arena.blocks += 1;
-        if src != remaining[0] {
-            arena.out_of_order_blocks += 1;
-        }
-        remaining.retain(|&o| o != src);
-        let range = &ex
-            .owner_sel
-            .iter()
-            .find(|(o, _)| *o == src)
-            .expect("unexpected source")
-            .1;
-        debug_assert_eq!(data.len(), range.len() * d);
-        let dst = &mut arena.h_bd.as_mut_slice()[range.start * d..range.end * d];
-        if feature_scale != 1.0 {
-            for (a, b) in dst.iter_mut().zip(&data) {
-                *a = b * feature_scale;
-            }
-        } else {
-            dst.copy_from_slice(&data);
-        }
-        arena.recycle(data);
+    let mut op = BoundaryRecvOp::begin(ex, n_selected, d, feature_scale, tag, arena);
+    while !op.poll(comm, ex, arena) {
+        comm.wait_message();
     }
+    swap_boundary_stale(arena, stale);
+}
+
+/// The PipeGCN staleness swap applied after a boundary receive
+/// completes: the fresh block is cached and the previous epoch's block
+/// becomes current (first epoch: fresh is used directly and cached).
+/// `stale = None` is a no-op. Split out of [`recv_boundary_blocks`] so
+/// the cooperative engine can apply it when [`BoundaryRecvOp::poll`]
+/// reports completion.
+pub fn swap_boundary_stale(arena: &mut ExchangeArena, stale: Option<&mut Option<Matrix>>) {
     if let Some(cache) = stale {
         match cache.take() {
             Some(mut prev) => {
@@ -373,6 +409,99 @@ pub fn recv_boundary_blocks(
                 *cache = Some(arena.h_bd.clone());
             }
         }
+    }
+}
+
+/// An in-flight boundary-block receive ([`recv_boundary_blocks`] phase
+/// only, sends are issued separately via [`send_boundary_rows`]).
+/// Blocks are folded into their fixed disjoint row ranges as they
+/// arrive, so completion order cannot change the assembled matrix.
+///
+/// Emits the same `comm.recv_any_ready`/`comm.recv_any_waited` overlap
+/// telemetry as the blocking path: a block consumed without an
+/// intervening empty poll counts as overlapped ("ready").
+pub struct BoundaryRecvOp {
+    tag: u64,
+    d: usize,
+    feature_scale: f32,
+    remaining: Vec<usize>,
+    waited: bool,
+}
+
+impl BoundaryRecvOp {
+    /// Resets the arena's boundary block and records which owners still
+    /// owe a block. Never blocks.
+    pub fn begin(
+        ex: &EpochExchange,
+        n_selected: usize,
+        d: usize,
+        feature_scale: f32,
+        tag: u64,
+        arena: &mut ExchangeArena,
+    ) -> Self {
+        arena.reset_h_bd(n_selected, d);
+        let remaining: Vec<usize> = ex
+            .owner_sel
+            .iter()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(o, _)| *o)
+            .collect();
+        Self {
+            tag,
+            d,
+            feature_scale,
+            remaining,
+            waited: false,
+        }
+    }
+
+    /// Folds every boundary block that has arrived; returns `true` once
+    /// all owners delivered. Never blocks. The caller applies
+    /// [`swap_boundary_stale`] after completion if pipelining.
+    pub fn poll(
+        &mut self,
+        comm: &mut RankComm,
+        ex: &EpochExchange,
+        arena: &mut ExchangeArena,
+    ) -> bool {
+        let d = self.d;
+        while !self.remaining.is_empty() {
+            let Some((src, data)) = comm.try_recv_any::<Vec<f32>>(self.tag, &self.remaining) else {
+                self.waited = true;
+                return false;
+            };
+            bns_telemetry::counter_add(
+                if self.waited {
+                    "comm.recv_any_waited"
+                } else {
+                    "comm.recv_any_ready"
+                },
+                1,
+            );
+            self.waited = false;
+            arena.blocks += 1;
+            if src != self.remaining[0] {
+                arena.out_of_order_blocks += 1;
+            }
+            self.remaining.retain(|&o| o != src);
+            let range = &ex
+                .owner_sel
+                .iter()
+                .find(|(o, _)| *o == src)
+                .expect("unexpected source")
+                .1;
+            debug_assert_eq!(data.len(), range.len() * d);
+            let dst = &mut arena.h_bd.as_mut_slice()[range.start * d..range.end * d];
+            if self.feature_scale != 1.0 {
+                for (a, b) in dst.iter_mut().zip(&data) {
+                    *a = b * self.feature_scale;
+                }
+            } else {
+                dst.copy_from_slice(&data);
+            }
+            arena.recycle(data);
+        }
+        true
     }
 }
 
@@ -397,75 +526,158 @@ pub fn exchange_gradients_overlapped(
     arena: &mut ExchangeArena,
     stale: Option<&mut Option<Vec<Vec<f32>>>>,
 ) {
-    let d = d_inner.cols();
-    for (owner, range) in &ex.owner_sel {
-        if range.is_empty() {
-            continue;
-        }
-        let mut buf = arena.take_buf(range.len() * d);
-        let src = &d_bd.as_slice()[range.start * d..range.end * d];
-        if feature_scale != 1.0 {
-            for (a, b) in buf.iter_mut().zip(src) {
-                *a = b * feature_scale;
-            }
-        } else {
-            buf.copy_from_slice(src);
-        }
-        comm.send(*owner, tag, buf, TrafficClass::Boundary);
+    let mut op = GradRecvOp::begin(comm, ex, d_bd, feature_scale, tag, arena);
+    while !op.poll(comm, ex, arena) {
+        comm.wait_message();
     }
-    let mut slots = std::mem::take(&mut arena.grad_slots);
-    slots.resize_with(comm.world_size(), Vec::new);
-    let mut remaining: Vec<usize> = ex
-        .rows_to_send
-        .iter()
-        .enumerate()
-        .filter(|(_, r)| !r.is_empty())
-        .map(|(j, _)| j)
-        .collect();
-    while !remaining.is_empty() {
-        let (src, data): (usize, Vec<f32>) = comm.recv_any(tag, &remaining);
-        arena.blocks += 1;
-        if src != remaining[0] {
-            arena.out_of_order_blocks += 1;
+    op.finish(ex, d_inner, arena, stale);
+}
+
+/// An in-flight gradient exchange: [`GradRecvOp::begin`] stages and
+/// issues every (scaled) send, [`GradRecvOp::poll`] parks arrivals in
+/// per-peer staging slots, and [`GradRecvOp::finish`] applies the
+/// contributions to `d_inner` in **fixed ascending peer order** —
+/// scatter-add targets of different peers can overlap, so
+/// arrival-order application would not be deterministic.
+pub struct GradRecvOp {
+    tag: u64,
+    d: usize,
+    slots: Vec<Vec<f32>>,
+    remaining: Vec<usize>,
+    waited: bool,
+}
+
+impl GradRecvOp {
+    /// Issues every gradient send (scaled by `feature_scale`, the chain
+    /// rule through the `H/p` rescale). Never blocks.
+    pub fn begin(
+        comm: &mut RankComm,
+        ex: &EpochExchange,
+        d_bd: &Matrix,
+        feature_scale: f32,
+        tag: u64,
+        arena: &mut ExchangeArena,
+    ) -> Self {
+        let d = d_bd.cols();
+        for (owner, range) in &ex.owner_sel {
+            if range.is_empty() {
+                continue;
+            }
+            let mut buf = arena.take_buf(range.len() * d);
+            let src = &d_bd.as_slice()[range.start * d..range.end * d];
+            if feature_scale != 1.0 {
+                for (a, b) in buf.iter_mut().zip(src) {
+                    *a = b * feature_scale;
+                }
+            } else {
+                buf.copy_from_slice(src);
+            }
+            comm.send(*owner, tag, buf, TrafficClass::Boundary);
         }
-        remaining.retain(|&j| j != src);
-        debug_assert_eq!(data.len(), ex.rows_to_send[src].len() * d);
-        slots[src] = data;
+        let mut slots = std::mem::take(&mut arena.grad_slots);
+        slots.resize_with(comm.world_size(), Vec::new);
+        let remaining: Vec<usize> = ex
+            .rows_to_send
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(j, _)| j)
+            .collect();
+        Self {
+            tag,
+            d,
+            slots,
+            remaining,
+            waited: false,
+        }
     }
-    match stale {
-        None => {
-            for (j, rows) in ex.rows_to_send.iter().enumerate() {
-                if rows.is_empty() {
-                    continue;
-                }
-                let data = std::mem::take(&mut slots[j]);
-                d_inner.scatter_add_rows_slice(rows, &data);
-                arena.recycle(data);
+
+    /// Stashes every gradient block that has arrived; returns `true`
+    /// once all peers delivered. Never blocks.
+    pub fn poll(
+        &mut self,
+        comm: &mut RankComm,
+        ex: &EpochExchange,
+        arena: &mut ExchangeArena,
+    ) -> bool {
+        while !self.remaining.is_empty() {
+            let Some((src, data)) = comm.try_recv_any::<Vec<f32>>(self.tag, &self.remaining) else {
+                self.waited = true;
+                return false;
+            };
+            bns_telemetry::counter_add(
+                if self.waited {
+                    "comm.recv_any_waited"
+                } else {
+                    "comm.recv_any_ready"
+                },
+                1,
+            );
+            self.waited = false;
+            arena.blocks += 1;
+            if src != self.remaining[0] {
+                arena.out_of_order_blocks += 1;
             }
-            arena.grad_slots = slots;
+            self.remaining.retain(|&j| j != src);
+            debug_assert_eq!(data.len(), ex.rows_to_send[src].len() * self.d);
+            self.slots[src] = data;
         }
-        Some(cache) => match cache.take() {
-            Some(prev) => {
-                for (j, rows) in ex.rows_to_send.iter().enumerate() {
-                    if rows.is_empty() {
-                        continue;
-                    }
-                    d_inner.scatter_add_rows_slice(rows, &prev[j]);
-                }
-                for buf in prev {
-                    arena.recycle(buf);
-                }
-                *cache = Some(slots);
-            }
+        true
+    }
+
+    /// Applies the received contributions to `d_inner` (fixed ascending
+    /// peer order) and returns the staging slots to the arena. With
+    /// `stale` (PipeGCN), fresh contributions are cached per peer and
+    /// the previous epoch's are applied instead (first epoch applies
+    /// fresh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`GradRecvOp::poll`] returned `true`.
+    pub fn finish(
+        self,
+        ex: &EpochExchange,
+        d_inner: &mut Matrix,
+        arena: &mut ExchangeArena,
+        stale: Option<&mut Option<Vec<Vec<f32>>>>,
+    ) {
+        assert!(self.remaining.is_empty(), "gradient exchange incomplete");
+        let mut slots = self.slots;
+        match stale {
             None => {
                 for (j, rows) in ex.rows_to_send.iter().enumerate() {
                     if rows.is_empty() {
                         continue;
                     }
-                    d_inner.scatter_add_rows_slice(rows, &slots[j]);
+                    let data = std::mem::take(&mut slots[j]);
+                    d_inner.scatter_add_rows_slice(rows, &data);
+                    arena.recycle(data);
                 }
-                *cache = Some(slots);
+                arena.grad_slots = slots;
             }
-        },
+            Some(cache) => match cache.take() {
+                Some(prev) => {
+                    for (j, rows) in ex.rows_to_send.iter().enumerate() {
+                        if rows.is_empty() {
+                            continue;
+                        }
+                        d_inner.scatter_add_rows_slice(rows, &prev[j]);
+                    }
+                    for buf in prev {
+                        arena.recycle(buf);
+                    }
+                    *cache = Some(slots);
+                }
+                None => {
+                    for (j, rows) in ex.rows_to_send.iter().enumerate() {
+                        if rows.is_empty() {
+                            continue;
+                        }
+                        d_inner.scatter_add_rows_slice(rows, &slots[j]);
+                    }
+                    *cache = Some(slots);
+                }
+            },
+        }
     }
 }

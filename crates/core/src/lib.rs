@@ -3,10 +3,11 @@
 //!
 //! A from-scratch Rust reproduction of Wan et al., MLSys 2022. The
 //! original trains with one GPU per graph partition over PyTorch + DGL;
-//! here each partition is an OS thread exchanging messages through
-//! `bns-comm`, which preserves Algorithm 1 of the paper exactly (it is
-//! specified per-partition) while making every byte of traffic
-//! observable and every run deterministic.
+//! here each partition is a cooperative task (multiplexed onto a fixed
+//! OS worker set by `bns-runtime`, so k can exceed the core count)
+//! exchanging messages through `bns-comm`, which preserves Algorithm 1
+//! of the paper exactly (it is specified per-partition) while making
+//! every byte of traffic observable and every run deterministic.
 //!
 //! ## The method
 //!
@@ -28,8 +29,9 @@
 //! * [`sampling`] — boundary-node sampling (BNS) plus the paper's
 //!   ablation baselines: boundary-*edge* sampling (BES) and DropEdge.
 //! * [`engine`] — the partition-parallel trainer (Algorithm 1): one
-//!   thread per partition, per-layer feature/gradient exchange, gradient
-//!   all-reduce, full timing/traffic/memory instrumentation.
+//!   cooperative task per partition on a fixed worker set (`BNS_WORKERS`),
+//!   per-layer feature/gradient exchange, gradient all-reduce, full
+//!   timing/traffic/memory instrumentation.
 //! * [`fullgraph`] — single-rank reference trainer (used to verify the
 //!   `p = 1` engine computes identical results).
 //! * [`minibatch`] — the sampling-based baselines of the paper's

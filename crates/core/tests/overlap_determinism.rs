@@ -178,6 +178,7 @@ fn training_curves_are_run_to_run_deterministic() {
             seed: 11,
             clip_norm: Some(5.0),
             pipeline,
+            workers: None,
         };
         let a = train_with_plan(&plan, &cfg);
         let b = train_with_plan(&plan, &cfg);

@@ -23,6 +23,7 @@ fn cfg(sampling: BoundarySampling) -> TrainConfig {
         seed: 1,
         clip_norm: None,
         pipeline: false,
+        workers: None,
     }
 }
 

@@ -1,0 +1,90 @@
+//! OS-thread footprint: k = 32 ranks on 2 workers must run on ~2
+//! threads, not 32. Lives in its own test binary because the assertion
+//! reads the whole process's thread count from `/proc/self/status` —
+//! a shared harness running unrelated tests concurrently would pollute
+//! it.
+
+use bns_data::SyntheticSpec;
+use bns_gcn::engine::{train_with_plan, ModelArch, TrainConfig};
+use bns_gcn::plan::PartitionPlan;
+use bns_gcn::sampling::BoundarySampling;
+use bns_partition::{Partitioner, RandomPartitioner};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Current thread count of this process (Linux only).
+#[cfg(target_os = "linux")]
+fn os_threads() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("/proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+/// The thread bound the whole PR exists for: with `workers = 2` and
+/// kernel pools disabled, training k = 32 partitions may add at most
+/// one spawned scheduler worker (the caller is worker 0) plus a small
+/// constant of slack — never a thread per rank. The pre-scheduler
+/// engine spawned 32 here and fails this assertion.
+#[test]
+fn k32_on_two_workers_spawns_no_thread_per_rank() {
+    // Force share-of-1 kernel budgets so worker pools spawn nothing;
+    // safe to set here because this binary runs exactly one test.
+    std::env::set_var("BNS_THREADS", "1");
+
+    let ds = Arc::new(SyntheticSpec::reddit_sim().with_nodes(500).generate(2));
+    let part = RandomPartitioner.partition(&ds.graph, 32, 3);
+    let plan = Arc::new(PartitionPlan::build(&ds, &part));
+    let cfg = TrainConfig {
+        hidden: vec![12],
+        epochs: 2,
+        dropout: 0.0,
+        sampling: BoundarySampling::Bns { p: 0.5 },
+        eval_every: 0,
+        arch: ModelArch::Sage,
+        workers: Some(2),
+        ..TrainConfig::quick_test()
+    };
+
+    #[cfg(target_os = "linux")]
+    {
+        let before = os_threads();
+        let stop = Arc::new(AtomicBool::new(false));
+        let high_water = Arc::new(AtomicUsize::new(0));
+        let sampler = {
+            let stop = Arc::clone(&stop);
+            let high_water = Arc::clone(&high_water);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    high_water.fetch_max(os_threads(), Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            })
+        };
+        let run = train_with_plan(&plan, &cfg);
+        stop.store(true, Ordering::Relaxed);
+        sampler.join().expect("sampler thread");
+        assert_eq!(run.epochs.len(), 2);
+
+        // Expected growth over `before` (snapshotted before the
+        // sampler existed): the sampler itself (1) + spawned scheduler
+        // workers (workers - 1 = 1), plus slack for harness
+        // bookkeeping threads.
+        let peak = high_water.load(Ordering::Relaxed);
+        let added = peak.saturating_sub(before);
+        assert!(
+            added <= 4,
+            "k=32 on 2 workers grew the process by {added} threads \
+             (before={before}, peak={peak}) — thread-per-rank regression"
+        );
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    {
+        // No /proc on this platform; still exercise the configuration.
+        let run = train_with_plan(&plan, &cfg);
+        assert_eq!(run.epochs.len(), 2);
+    }
+}

@@ -118,6 +118,16 @@ impl RankQueue {
     /// Enqueues a query, blocking while the queue is full. Returns
     /// `false` (dropping the query) iff the queue has been closed.
     pub fn push(&self, query: Query) -> bool {
+        self.push_with(query, &mut || {})
+    }
+
+    /// Seam behind [`RankQueue::push`]: `on_full` runs (queue still
+    /// locked) each time the queue is observed full, immediately before
+    /// blocking. A test signals "producer parked" from the hook instead
+    /// of sleeping and hoping the producer got that far — the condvar
+    /// releases the lock atomically, so anything the signalled thread
+    /// does under the lock is ordered strictly after the wait begins.
+    fn push_with(&self, query: Query, on_full: &mut dyn FnMut()) -> bool {
         let mut st = self.state.lock().unwrap();
         loop {
             if st.closed {
@@ -129,6 +139,7 @@ impl RankQueue {
                 self.not_empty.notify_one();
                 return true;
             }
+            on_full();
             st = self.not_full.wait(st).unwrap();
         }
     }
@@ -146,6 +157,20 @@ impl RankQueue {
     /// (up to `policy.max_batch`). Returns `false` iff the queue is
     /// closed and fully drained — the worker's exit signal.
     pub fn pop_batch(&self, policy: &BatchPolicy, out: &mut Vec<Query>) -> bool {
+        self.pop_batch_with(policy, out, &mut || {})
+    }
+
+    /// Seam behind [`RankQueue::pop_batch`]: `before_linger_wait` runs
+    /// (queue locked) immediately before each timed straggler wait. A
+    /// test releases its straggler producer from the hook, so "query
+    /// arrives during the linger window" is a forced interleaving
+    /// rather than a race against a sleep.
+    fn pop_batch_with(
+        &self,
+        policy: &BatchPolicy,
+        out: &mut Vec<Query>,
+        before_linger_wait: &mut dyn FnMut(),
+    ) -> bool {
         out.clear();
         let max_batch = policy.max_batch.max(1);
         let mut st = self.state.lock().unwrap();
@@ -168,6 +193,7 @@ impl RankQueue {
                 if now >= deadline {
                     break;
                 }
+                before_linger_wait();
                 let (g, _timeout) = self.not_empty.wait_timeout(st, deadline - now).unwrap();
                 st = g;
                 drain_batch(&mut st.q, max_batch, out);
@@ -221,15 +247,25 @@ mod tests {
         assert!(out.is_empty());
     }
 
+    /// Deterministic via the `push_with` seam: the producer signals
+    /// from inside the "queue is full" hook, so the consumer pops only
+    /// once the producer is provably at its blocking point — no sleep,
+    /// no race.
     #[test]
     fn push_blocks_until_pop_frees_a_slot() {
         let rq = Arc::new(RankQueue::bounded(2));
         rq.push(q(0));
         rq.push(q(1));
+        let (parked_tx, parked_rx) = std::sync::mpsc::channel();
         let rq2 = Arc::clone(&rq);
-        let t = std::thread::spawn(move || rq2.push(q(2)));
-        // The producer is blocked on a full queue; free a slot.
-        std::thread::sleep(Duration::from_millis(20));
+        let t = std::thread::spawn(move || {
+            rq2.push_with(q(2), &mut || {
+                parked_tx.send(()).expect("test alive");
+            })
+        });
+        // Runs strictly after the producer observed the queue full and
+        // entered its condvar wait; free a slot.
+        parked_rx.recv().expect("producer parked");
         let mut out = Vec::new();
         assert!(rq.pop_batch(&BatchPolicy::immediate(1), &mut out));
         assert_eq!(out[0].node, 0);
@@ -237,24 +273,31 @@ mod tests {
         assert_eq!(rq.len(), 2);
     }
 
+    /// Deterministic via the `pop_batch_with` seam: the straggler is
+    /// released only once the consumer is at its linger wait, so it is
+    /// guaranteed to arrive inside the window regardless of scheduler
+    /// stalls (the generous linger is a ceiling, never slept through).
     #[test]
     fn linger_collects_stragglers() {
         let rq = Arc::new(RankQueue::bounded(16));
         rq.push(q(0));
+        let (lingering_tx, lingering_rx) = std::sync::mpsc::channel();
         let rq2 = Arc::clone(&rq);
         let t = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(10));
+            lingering_rx.recv().expect("consumer lingering");
             rq2.push(q(1));
         });
         let policy = BatchPolicy {
             max_batch: 2,
-            linger: Duration::from_millis(500),
+            linger: Duration::from_secs(60),
         };
         let mut out = Vec::new();
-        assert!(rq.pop_batch(&policy, &mut out));
+        assert!(rq.pop_batch_with(&policy, &mut out, &mut || {
+            let _ = lingering_tx.send(());
+        }));
         t.join().unwrap();
-        // The straggler arrived well inside the linger window, so it
-        // must ride in the same batch (and close it at max_batch).
+        // The straggler arrived inside the linger window, so it must
+        // ride in the same batch (and close it at max_batch).
         assert_eq!(out.iter().map(|x| x.node).collect::<Vec<_>>(), vec![0, 1]);
     }
 }

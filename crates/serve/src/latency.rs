@@ -51,7 +51,12 @@ impl LatencyRecorder {
             return 0.0;
         }
         let mut sorted = self.samples_us.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // total_cmp, not partial_cmp().unwrap(): a NaN sample (e.g. a
+        // poisoned duration computed from a clock that stepped
+        // backwards) must not panic the report at the very end of a
+        // long load run. NaNs order after every real sample, so they
+        // can only inflate the max — never crash it.
+        sorted.sort_by(f64::total_cmp);
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         sorted[rank - 1]
     }
@@ -59,7 +64,7 @@ impl LatencyRecorder {
     /// Full summary over a wall-clock window of `elapsed`.
     pub fn summary(&self, elapsed: Duration) -> LatencySummary {
         let mut sorted = self.samples_us.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let pick = |q: f64| -> f64 {
             if sorted.is_empty() {
                 return 0.0;
@@ -136,6 +141,22 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.qps, 0.0);
         assert_eq!(s.max_us, 0.0);
+    }
+
+    /// Regression test: `sort_by(partial_cmp().unwrap())` panicked on
+    /// the first NaN sample, taking down the report after the full load
+    /// run had already completed. NaNs must sort after real samples.
+    #[test]
+    fn nan_sample_does_not_panic_percentiles() {
+        let mut r = LatencyRecorder::default();
+        r.record_us(100.0);
+        r.record_us(f64::NAN);
+        r.record_us(50.0);
+        assert_eq!(r.quantile_us(0.5), 100.0);
+        let s = r.summary(Duration::from_secs(1));
+        assert_eq!(s.count, 3);
+        assert_eq!(s.p50_us, 100.0);
+        assert!(s.max_us.is_nan());
     }
 
     #[test]

@@ -104,10 +104,17 @@ impl ThreadConfig {
         )
     }
 
-    /// Splits the budget evenly over `ranks` partition workers so that
-    /// `ranks x threads <= budget` (each rank gets at least one).
-    pub fn for_ranks(self, ranks: usize) -> Self {
-        Self::new(self.threads / ranks.max(1))
+    /// Splits the budget over `ranks` partition workers so that the
+    /// shares sum to the budget when it is large enough (each rank gets
+    /// at least one). The remainder `budget % ranks` is handed out
+    /// deterministically to the lowest-index ranks, so a budget of 6
+    /// over 4 ranks yields shares `[2, 2, 1, 1]` — not `[1, 1, 1, 1]`
+    /// with two cores idle.
+    pub fn for_ranks(self, ranks: usize, rank: usize) -> Self {
+        let ranks = ranks.max(1);
+        let base = self.threads / ranks;
+        let rem = self.threads % ranks;
+        Self::new(base + usize::from(rank < rem))
     }
 }
 
@@ -382,9 +389,36 @@ mod tests {
     #[test]
     fn config_clamps_and_splits() {
         assert_eq!(ThreadConfig::new(0).threads, 1);
-        assert_eq!(ThreadConfig::new(8).for_ranks(4).threads, 2);
-        assert_eq!(ThreadConfig::new(4).for_ranks(8).threads, 1);
-        assert_eq!(ThreadConfig::new(4).for_ranks(0).threads, 4);
+        assert_eq!(ThreadConfig::new(8).for_ranks(4, 0).threads, 2);
+        assert_eq!(ThreadConfig::new(4).for_ranks(8, 0).threads, 1);
+        assert_eq!(ThreadConfig::new(4).for_ranks(0, 0).threads, 4);
+    }
+
+    /// Regression: the old `budget / ranks` split threw the remainder
+    /// away — budget 6 over 4 ranks gave every rank 1 thread (via the
+    /// floor 6/4 = 1) and left 2 cores idle. The remainder must go to
+    /// the lowest-index ranks instead.
+    #[test]
+    fn for_ranks_distributes_remainder() {
+        let shares = |budget: usize, k: usize| -> Vec<usize> {
+            (0..k)
+                .map(|r| ThreadConfig::new(budget).for_ranks(k, r).threads)
+                .collect()
+        };
+        // Non-dividing budget: remainder to ranks 0 and 1.
+        assert_eq!(shares(6, 4), vec![2, 2, 1, 1]);
+        // Full budget is used (no idle cores) whenever budget >= ranks.
+        for (budget, k) in [(6, 4), (7, 3), (9, 4), (8, 8), (13, 5)] {
+            let s = shares(budget, k);
+            assert_eq!(s.iter().sum::<usize>(), budget, "budget {budget} k {k}");
+            // Deterministic, monotone non-increasing with rank index.
+            assert!(s.windows(2).all(|w| w[0] >= w[1]), "{s:?}");
+        }
+        // More ranks than budget: everyone still gets the 1-thread floor.
+        assert_eq!(shares(4, 8), vec![1; 8]);
+        assert_eq!(shares(1, 3), vec![1, 1, 1]);
+        // Exact division is unchanged.
+        assert_eq!(shares(8, 4), vec![2, 2, 2, 2]);
     }
 
     #[test]

@@ -133,6 +133,8 @@ impl AuditConfig {
                 "crates/comm/src".into(),
                 // The compute pool owns the worker threads.
                 "crates/tensor/src/pool.rs".into(),
+                // The cooperative scheduler owns the rank-task workers.
+                "crates/runtime/src".into(),
                 // The serving engine's per-shard workers.
                 "crates/serve/src/worker.rs".into(),
                 // The model checker's cooperative scheduler.

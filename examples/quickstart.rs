@@ -47,6 +47,7 @@ fn main() {
         seed: 0,
         clip_norm: Some(1.0),
         pipeline: false,
+        workers: None,
     };
     let sampled = train(&ds, &part, &cfg);
 

@@ -73,6 +73,7 @@ fn main() {
             seed: 3,
             clip_norm: None,
             pipeline: false,
+            workers: None,
         },
     );
     let sample_s: f64 = run.epochs.iter().map(|e| e.sample_s).sum();

@@ -38,6 +38,7 @@ fn main() {
                 seed: 0,
                 clip_norm: None,
                 pipeline: false,
+                workers: None,
             };
             let run = train_with_plan(&plan, &cfg);
             let selected: usize = run

@@ -25,6 +25,7 @@ fn base_cfg() -> TrainConfig {
         seed: 5,
         clip_norm: None,
         pipeline: false,
+        workers: None,
     }
 }
 

@@ -712,6 +712,16 @@ pub mod sync {
         #[derive(Debug)]
         pub struct RecvError;
 
+        /// Error returned by `try_recv` on an empty or disconnected
+        /// channel (same shape as `std::sync::mpsc::TryRecvError`).
+        #[derive(Debug, PartialEq, Eq)]
+        pub enum TryRecvError {
+            /// No message is currently queued.
+            Empty,
+            /// Every sender is gone and the queue is drained.
+            Disconnected,
+        }
+
         struct Chan<T> {
             id: u64,
             inner: StdMutex<ChanInner<T>>,
@@ -814,6 +824,19 @@ pub mod sync {
                     }
                     rt::block_on(self.chan.id);
                 }
+            }
+
+            /// Schedule point, then non-blocking dequeue.
+            pub fn try_recv(&self) -> Result<T, TryRecvError> {
+                rt::yield_point();
+                let mut inner = self.chan.inner();
+                if let Some(v) = inner.q.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(TryRecvError::Disconnected);
+                }
+                Err(TryRecvError::Empty)
             }
         }
 
