@@ -8,7 +8,7 @@
 //! sends, runs the inner-edge partial while blocks are in flight, then
 //! folds boundary contributions as they arrive.
 
-use bns_comm::run_ranks;
+use bns_comm::{run_ranks, WirePrecision};
 use bns_data::SyntheticSpec;
 use bns_gcn::exchange::{
     exchange_features_serial, exchange_selection, recv_boundary_blocks, send_boundary_rows,
@@ -87,7 +87,14 @@ fn bench_exchange(c: &mut Criterion) {
                     let mut arena = ExchangeArena::new();
                     let mut acc = 0.0f32;
                     for l in 0..LAYERS {
-                        send_boundary_rows(&mut comm, &ex, &h, 1 + l as u64, &mut arena);
+                        send_boundary_rows(
+                            &mut comm,
+                            &ex,
+                            &h,
+                            1 + l as u64,
+                            &mut arena,
+                            WirePrecision::Exact,
+                        );
                         let mut z = scaled_sum_aggregate_inner(&topo.graph, &h, n_in);
                         recv_boundary_blocks(
                             &mut comm,
@@ -98,6 +105,7 @@ fn bench_exchange(c: &mut Criterion) {
                             1 + l as u64,
                             &mut arena,
                             None,
+                            WirePrecision::Exact,
                         );
                         scaled_sum_fold_boundary(
                             &topo.graph,

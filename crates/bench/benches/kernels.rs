@@ -147,6 +147,8 @@ fn bench_distributed_epoch(c: &mut Criterion) {
             seed: 0,
             clip_norm: None,
             pipeline: false,
+            workers: None,
+            wire_precision: None,
         };
         c.bench_function(&format!("distributed_epoch_2k_k4_p{p}"), |bch| {
             bch.iter(|| black_box(train_with_plan(&plan, &cfg)));

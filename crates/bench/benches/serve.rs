@@ -30,7 +30,7 @@ fn bench_serve_batch(c: &mut Criterion) {
     let mut rng = SeededRng::new(77);
     let mine: Vec<u32> = (0..plan.owner.len() as u32)
         .filter(|&v| plan.owner_of(v) == 0)
-        .filter(|_| rng.next_u64() % 3 == 0)
+        .filter(|_| rng.next_u64().is_multiple_of(3))
         .take(64)
         .collect();
     for batch in [1usize, 8, 64] {

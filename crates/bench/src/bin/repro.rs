@@ -9,7 +9,7 @@
 //!
 //! Experiments: table1, table2, fig3, fig4, table4, table5, fig5,
 //! table6, fig6, fig7, fig8, table7, table8, table9, table10, table11,
-//! table12, table13, fig9, ablations, serve.
+//! table12, table13, fig9, ksweep, quant, ablations, serve.
 //!
 //! `--trace` enables telemetry capture and writes a Chrome trace-event
 //! JSON profile of the run (open in `chrome://tracing` or Perfetto);
@@ -124,6 +124,7 @@ const EXPERIMENTS: &[&str] = &[
     "table13",
     "fig9",
     "ksweep",
+    "quant",
     "ablations",
     "serve",
 ];
@@ -150,6 +151,7 @@ fn run_experiment(name: &str, scale: Scale) {
         "table10" => exp_gat::table10(scale),
         "table11" => exp_sampling::table11(scale),
         "table8" => exp_sampling::table8(scale),
+        "quant" => exp_quant::quant(scale),
         "ablations" => exp_ablation::all(scale),
         "serve" => exp_serve::serve(scale),
         other => {

@@ -28,6 +28,7 @@ fn cfg(sampling: BoundarySampling, epochs: usize, arch: ModelArch) -> TrainConfi
         clip_norm: Some(1.0),
         pipeline: false,
         workers: None,
+        wire_precision: None,
     }
 }
 

@@ -79,6 +79,7 @@ fn engine_cfg(s: &AccuracySetup, sampling: BoundarySampling) -> TrainConfig {
         clip_norm: Some(1.0),
         pipeline: false,
         workers: None,
+        wire_precision: None,
     }
 }
 

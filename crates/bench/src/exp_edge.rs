@@ -90,6 +90,7 @@ pub fn table9(scale: Scale) {
                 clip_norm: None,
                 pipeline: false,
                 workers: None,
+                wire_precision: None,
             };
             let run = train_with_plan(&plan, &cfg);
             let sim = run.avg_sim_epoch_scaled(&CostModel::pcie3(), crate::wscale(&ds));

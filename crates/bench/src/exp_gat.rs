@@ -34,6 +34,7 @@ pub fn table10(scale: Scale) {
                 clip_norm: None,
                 pipeline: false,
                 workers: None,
+                wire_precision: None,
             };
             let run = train_with_plan(&plan, &cfg);
             run.avg_sim_epoch_scaled(&cost, crate::wscale(&ds)).total()

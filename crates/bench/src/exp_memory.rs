@@ -21,6 +21,7 @@ fn mem_cfg(p: f64) -> TrainConfig {
         clip_norm: None,
         pipeline: false,
         workers: None,
+        wire_precision: None,
     }
 }
 

@@ -1,0 +1,116 @@
+//! Quantized-wire ablation: accuracy vs sampling rate vs wire
+//! precision, with the boundary-traffic and epoch-time deltas each
+//! format buys at k ∈ {2, 4, 8} partitions.
+//!
+//! This is the codec counterpart of the paper's Table 4/Figure 5 story:
+//! BNS removes boundary *rows*, the wire codec shrinks the *bytes per
+//! row*, and the two compose multiplicatively. The dataset uses
+//! 128-wide features and a 128-wide hidden layer so every exchanged
+//! block amortizes the int8 per-row header well past the 3.5x mark
+//! (4·128 / (128+8) ≈ 3.76x; f16/bf16 are exactly 2x at any width).
+
+use crate::{f2, f3, print_table, Scale, DATA_SEED};
+use bns_comm::{CostModel, WirePrecision};
+use bns_data::{Dataset, SyntheticSpec};
+use bns_gcn::engine::{train_with_plan, ModelArch, TrainConfig};
+use bns_gcn::plan::PartitionPlan;
+use bns_gcn::sampling::BoundarySampling;
+use bns_partition::{MetisLikePartitioner, Partitioner};
+use std::sync::Arc;
+
+/// Feature/hidden width: wide enough that the int8 row header (8
+/// bytes) costs < 6% of the row.
+const D: usize = 128;
+
+fn dataset(scale: Scale) -> Arc<Dataset> {
+    Arc::new(
+        SyntheticSpec::reddit_sim()
+            .with_nodes(scale.nodes(4_000, 16_000))
+            .with_feat_dim(D)
+            .generate(DATA_SEED + 4),
+    )
+}
+
+fn cfg(scale: Scale, p: f64, precision: WirePrecision) -> TrainConfig {
+    TrainConfig {
+        arch: ModelArch::Sage,
+        hidden: vec![D],
+        dropout: 0.3,
+        lr: 0.01,
+        epochs: scale.epochs(12, 60),
+        sampling: BoundarySampling::Bns { p },
+        eval_every: 0,
+        seed: 7,
+        clip_norm: Some(1.0),
+        pipeline: false,
+        workers: None,
+        wire_precision: Some(precision),
+    }
+}
+
+/// The `repro quant` experiment: one table per partition count, each
+/// sweeping precision × sampling rate against the exact wire at the
+/// same `p`.
+pub fn quant(scale: Scale) {
+    let ds = dataset(scale);
+    let cost = CostModel::pcie3();
+    let wscale = crate::wscale(&ds);
+    for k in [2usize, 4, 8] {
+        let part = MetisLikePartitioner::default().partition(&ds.graph, k, 0);
+        let plan = Arc::new(PartitionPlan::build(&ds, &part));
+        let mut rows = Vec::new();
+        for p in [1.0, 0.1] {
+            let exact_mb = {
+                let run = train_with_plan(&plan, &cfg(scale, p, WirePrecision::Exact));
+                let mb = run.epoch_comm_mb();
+                rows.push(row(p, WirePrecision::Exact, &run, 1.0, &cost, wscale));
+                mb
+            };
+            for precision in [WirePrecision::F16, WirePrecision::Bf16, WirePrecision::Int8] {
+                let run = train_with_plan(&plan, &cfg(scale, p, precision));
+                let reduction = exact_mb / run.epoch_comm_mb().max(1e-12);
+                rows.push(row(p, precision, &run, reduction, &cost, wscale));
+            }
+        }
+        print_table(
+            &format!("quant: accuracy vs p vs wire precision, reddit-sim(d={D}), {k} partitions"),
+            &[
+                "p",
+                "wire",
+                "test acc (%)",
+                "comm MB/ep",
+                "reduction",
+                "epoch wall",
+                "sim epoch",
+            ],
+            &rows,
+        );
+    }
+    println!(
+        "\n(reduction = boundary bytes vs the exact wire at the same p; \
+         f16/bf16 are exactly 2x, int8 is 4d/(d+8) = {:.2}x at d = {D}; \
+         sim epoch uses the PCIe cost model at paper scale, where the \
+         byte reduction translates into epoch-time reduction)",
+        4.0 * D as f64 / (D as f64 + 8.0)
+    );
+}
+
+fn row(
+    p: f64,
+    precision: WirePrecision,
+    run: &bns_gcn::engine::TrainRun,
+    reduction: f64,
+    cost: &CostModel,
+    wscale: f64,
+) -> Vec<String> {
+    let sim = run.avg_sim_epoch_scaled(cost, wscale);
+    vec![
+        format!("{p}"),
+        precision.to_string(),
+        f3(run.final_test * 100.0),
+        f2(run.epoch_comm_mb()),
+        format!("{}x", f2(reduction)),
+        format!("{:.1}ms", run.avg_epoch_s() * 1e3),
+        format!("{:.2}ms", sim.total() * 1e3),
+    ]
+}

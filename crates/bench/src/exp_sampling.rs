@@ -59,6 +59,7 @@ pub fn table11(scale: Scale) {
             clip_norm: None,
             pipeline: false,
             workers: None,
+            wire_precision: None,
         };
         let run = train_with_plan(&plan, &cfg);
         let t = run.avg_epoch_s();
@@ -114,6 +115,7 @@ pub fn table8(scale: Scale) {
                     clip_norm: None,
                     pipeline: false,
                     workers: None,
+                    wire_precision: None,
                 };
                 train_with_plan(&plan, &cfg)
             };

@@ -56,6 +56,7 @@ fn model_for(ds: &Arc<Dataset>, part: &Partitioning, scale: Scale) -> TrainedMod
         clip_norm: Some(5.0),
         pipeline: false,
         workers: None,
+        wire_precision: None,
     };
     let t0 = Instant::now();
     let m = train(ds, part, &cfg).model;

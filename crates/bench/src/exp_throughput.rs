@@ -5,7 +5,7 @@
 //! sweep (k far past the host core count).
 
 use crate::{f2, pct, print_table, Scale};
-use bns_comm::{CostModel, TrafficStats};
+use bns_comm::{CostModel, TrafficStats, WirePrecision};
 use bns_data::Dataset;
 use bns_gcn::costsim::{cagnet_epoch_time, roc_epoch_time, LayerWorkload};
 use bns_gcn::engine::{train_with_plan, ModelArch, TrainConfig, TrainRun};
@@ -36,6 +36,7 @@ fn timing_cfg(scale: Scale, paper_hidden: &[usize], sampling: BoundarySampling) 
         clip_norm: None,
         pipeline: false,
         workers: None,
+        wire_precision: None,
     }
 }
 
@@ -107,7 +108,9 @@ pub fn fig4(scale: Scale) {
                 cells.push(f2(1.0 / t));
             }
             let w = workloads(&ds, &plan, &dims);
-            cells.push(f2(1.0 / roc_epoch_time(&w, &cost, &swap)));
+            cells.push(f2(
+                1.0 / roc_epoch_time(&w, &cost, &swap, WirePrecision::Exact)
+            ));
             cells.push(f2(1.0 / cagnet_epoch_time(&w, 2, &cost)));
             rows.push(cells);
         }
@@ -203,6 +206,7 @@ pub fn table6(scale: Scale) {
             clip_norm: None,
             pipeline: false,
             workers: None,
+            wire_precision: None,
         };
         let run = run_for(&plan, &cfg);
         let sim = run.avg_sim_epoch_scaled(&cost, crate::wscale(&ds));

@@ -22,6 +22,7 @@ pub mod exp_edge;
 pub mod exp_gat;
 pub mod exp_memory;
 pub mod exp_partition;
+pub mod exp_quant;
 pub mod exp_sampling;
 pub mod exp_serve;
 pub mod exp_throughput;

@@ -1,6 +1,6 @@
 //! The α–β communication / compute cost model.
 
-use crate::{TrafficClass, TrafficStats};
+use crate::{TrafficClass, TrafficStats, WirePrecision};
 
 /// Converts traffic counters and FLOP counts into simulated seconds.
 ///
@@ -76,6 +76,26 @@ impl CostModel {
         flop / self.flops
     }
 
+    /// Seconds to move `rows` boundary rows of `d` f32 elements each in
+    /// `messages` messages, at the given wire precision.
+    ///
+    /// Before the quantized exchange existed, every cost-model call site
+    /// hard-coded `rows * d * 4` bytes; this helper owns the
+    /// bytes-per-element assumption instead, so estimated epoch time
+    /// tracks the active [`WirePrecision`] (f16/bf16 halve the byte term;
+    /// int8 pays `d + 8` per row for the per-row scale+zero-point
+    /// header).
+    pub fn exchange_time(
+        &self,
+        rows: u64,
+        d: usize,
+        messages: u64,
+        precision: WirePrecision,
+    ) -> f64 {
+        let bytes = rows * precision.row_bytes(d) as u64;
+        self.comm_time(bytes, messages)
+    }
+
     /// Simulated time of one synchronous step in which each rank sent the
     /// traffic recorded in its entry of `per_rank`: the slowest rank
     /// (bottleneck) determines the step time, matching the paper's
@@ -126,6 +146,35 @@ mod tests {
         b.record(TrafficClass::Boundary, 3000);
         assert!((m.step_time(&[a.clone(), b.clone()]) - 3.0).abs() < 1e-9);
         assert!((m.step_time_class(&[a, b], TrafficClass::AllReduce)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exchange_time_tracks_wire_precision() {
+        // Zero latency isolates the bandwidth (byte-count) term; one
+        // assertion per supported precision pins the exact byte math.
+        let m = CostModel {
+            latency_s: 0.0,
+            bandwidth_bps: 1e6,
+            flops: 1.0,
+        };
+        let (rows, d) = (1000u64, 64usize);
+        let t = |p| m.exchange_time(rows, d, 1, p);
+        // exact: 1000 * 64 * 4 B = 256 kB -> 0.256 s
+        assert!((t(WirePrecision::Exact) - 0.256).abs() < 1e-12);
+        // f16/bf16: exactly half
+        assert!((t(WirePrecision::F16) - 0.128).abs() < 1e-12);
+        assert!((t(WirePrecision::Bf16) - 0.128).abs() < 1e-12);
+        // int8: 1000 * (64 + 8) B = 72 kB -> 0.072 s
+        assert!((t(WirePrecision::Int8) - 0.072).abs() < 1e-12);
+        // Latency term is unaffected by precision.
+        let m_lat = CostModel {
+            latency_s: 1e-3,
+            ..m
+        };
+        for p in WirePrecision::ALL {
+            let with_lat = m_lat.exchange_time(rows, d, 10, p);
+            assert!((with_lat - (t(p) + 0.01)).abs() < 1e-12, "{p}");
+        }
     }
 
     #[test]

@@ -48,10 +48,12 @@
 // bns-tensor, bns-nn and the vendored loom shim; see UNSAFE_LEDGER.md).
 #![forbid(unsafe_code)]
 mod cost;
+mod precision;
 mod rank;
 mod sync;
 mod traffic;
 
 pub use cost::CostModel;
+pub use precision::{WirePrecision, ENV_QUANT};
 pub use rank::{create_world, run_ranks, AllReduceOp, RankComm, WakeFn};
 pub use traffic::{TrafficClass, TrafficStats};

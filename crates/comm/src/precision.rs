@@ -1,0 +1,157 @@
+//! Wire precision for the boundary exchange.
+//!
+//! Boundary-feature rows dominate communication volume (the paper's
+//! Eq. 3), so the exchange layer can optionally quantize payloads on the
+//! wire: IEEE half (f16), bfloat16, or int8 with a per-row affine
+//! scale+zero-point. The codec itself lives in `bns_tensor::simd::codec`
+//! and the plumbing in `bns_gcn::exchange`; this module only defines the
+//! *selection* — which format is active — and the byte accounting the
+//! α–β cost model needs to price a quantized exchange (DESIGN.md §13).
+//!
+//! The default is [`WirePrecision::Exact`]: raw f32, byte-for-byte the
+//! historical path. Quantized modes are opt-in via
+//! `TrainConfig::wire_precision` or the `BNS_QUANT` environment variable.
+
+use std::fmt;
+
+/// Environment variable naming the wire precision (`BNS_QUANT`).
+///
+/// Recognized values (case-insensitive): `exact`, `f16`, `bf16`, `int8`.
+/// Absent, empty, or unrecognized values fall back to `exact` — the same
+/// forgiving resolution `BNS_SIMD`/`BNS_THREADS` use.
+pub const ENV_QUANT: &str = "BNS_QUANT";
+
+/// On-wire encoding of boundary-feature and boundary-gradient rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WirePrecision {
+    /// Raw little-endian f32 — 4 bytes per element, bitwise identical to
+    /// the pre-codec exchange. The default.
+    Exact,
+    /// IEEE 754 binary16 — 2 bytes per element, round-to-nearest-even on
+    /// pack (stochastic rounding on the gradient return path).
+    F16,
+    /// bfloat16 (truncated f32 exponent range) — 2 bytes per element.
+    Bf16,
+    /// Per-row affine uint8: an 8-byte `[scale: f32 LE, zero_point:
+    /// f32 LE]` header followed by one byte per element, so a row of
+    /// `d` elements costs `d + 8` bytes instead of `4d`.
+    Int8,
+}
+
+impl WirePrecision {
+    /// Every supported precision, `Exact` first.
+    pub const ALL: [WirePrecision; 4] = [
+        WirePrecision::Exact,
+        WirePrecision::F16,
+        WirePrecision::Bf16,
+        WirePrecision::Int8,
+    ];
+
+    /// Canonical lowercase name, matching what `BNS_QUANT` accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            WirePrecision::Exact => "exact",
+            WirePrecision::F16 => "f16",
+            WirePrecision::Bf16 => "bf16",
+            WirePrecision::Int8 => "int8",
+        }
+    }
+
+    /// Parses a precision name (case-insensitive). `None` for anything
+    /// unrecognized.
+    pub fn parse(s: &str) -> Option<WirePrecision> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "exact" | "f32" => Some(WirePrecision::Exact),
+            "f16" | "fp16" | "half" => Some(WirePrecision::F16),
+            "bf16" | "bfloat16" => Some(WirePrecision::Bf16),
+            "int8" | "i8" | "u8" => Some(WirePrecision::Int8),
+            _ => None,
+        }
+    }
+
+    /// Resolution used by both the engine and experiments: an explicit
+    /// setting wins; otherwise the value is read from the string (usually
+    /// `BNS_QUANT`); absent/empty/unrecognized means [`Exact`].
+    ///
+    /// [`Exact`]: WirePrecision::Exact
+    pub fn resolve(env: Option<&str>) -> WirePrecision {
+        env.and_then(WirePrecision::parse)
+            .unwrap_or(WirePrecision::Exact)
+    }
+
+    /// Reads [`ENV_QUANT`] from the process environment.
+    pub fn from_env() -> WirePrecision {
+        WirePrecision::resolve(std::env::var(ENV_QUANT).ok().as_deref())
+    }
+
+    /// Wire bytes for one row of `d` f32 elements under this precision.
+    pub fn row_bytes(self, d: usize) -> usize {
+        match self {
+            WirePrecision::Exact => 4 * d,
+            WirePrecision::F16 | WirePrecision::Bf16 => 2 * d,
+            WirePrecision::Int8 => d + 8,
+        }
+    }
+
+    /// Wire bytes for a block of `rows` rows of `d` elements each.
+    pub fn payload_bytes(self, rows: usize, d: usize) -> usize {
+        rows * self.row_bytes(d)
+    }
+
+    /// Compression ratio vs. raw f32 for rows of width `d` (>= 1.0 for
+    /// every non-exact precision once `d > 2`).
+    pub fn compression_ratio(self, d: usize) -> f64 {
+        if d == 0 {
+            return 1.0;
+        }
+        (4 * d) as f64 / self.row_bytes(d) as f64
+    }
+}
+
+impl fmt::Display for WirePrecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_aliases_and_rejects_junk() {
+        assert_eq!(WirePrecision::parse("exact"), Some(WirePrecision::Exact));
+        assert_eq!(WirePrecision::parse("F16"), Some(WirePrecision::F16));
+        assert_eq!(WirePrecision::parse(" bf16 "), Some(WirePrecision::Bf16));
+        assert_eq!(WirePrecision::parse("INT8"), Some(WirePrecision::Int8));
+        assert_eq!(WirePrecision::parse("fp16"), Some(WirePrecision::F16));
+        assert_eq!(WirePrecision::parse(""), None);
+        assert_eq!(WirePrecision::parse("int4"), None);
+    }
+
+    #[test]
+    fn resolve_defaults_to_exact() {
+        assert_eq!(WirePrecision::resolve(None), WirePrecision::Exact);
+        assert_eq!(WirePrecision::resolve(Some("")), WirePrecision::Exact);
+        assert_eq!(WirePrecision::resolve(Some("nope")), WirePrecision::Exact);
+        assert_eq!(WirePrecision::resolve(Some("int8")), WirePrecision::Int8);
+    }
+
+    #[test]
+    fn row_bytes_match_the_wire_format() {
+        assert_eq!(WirePrecision::Exact.row_bytes(64), 256);
+        assert_eq!(WirePrecision::F16.row_bytes(64), 128);
+        assert_eq!(WirePrecision::Bf16.row_bytes(64), 128);
+        assert_eq!(WirePrecision::Int8.row_bytes(64), 72);
+        assert_eq!(WirePrecision::Int8.payload_bytes(10, 64), 720);
+    }
+
+    #[test]
+    fn compression_ratios_hit_the_targets() {
+        // f16/bf16 are exactly 2x; int8 crosses 3.5x once d >= 107.
+        assert!((WirePrecision::F16.compression_ratio(64) - 2.0).abs() < 1e-12);
+        assert!((WirePrecision::Bf16.compression_ratio(128) - 2.0).abs() < 1e-12);
+        assert!(WirePrecision::Int8.compression_ratio(128) > 3.5);
+        assert!((WirePrecision::Exact.compression_ratio(64) - 1.0).abs() < 1e-12);
+    }
+}

@@ -19,7 +19,7 @@
 //!   partial products, moving `Θ(n·d/√?)`-scale data that does **not**
 //!   shrink with graph locality — the reason it loses to BNS-GCN.
 
-use bns_comm::CostModel;
+use bns_comm::{CostModel, WirePrecision};
 
 /// Workload description for the analytic models.
 #[derive(Debug, Clone, Copy)]
@@ -38,26 +38,40 @@ pub struct LayerWorkload {
 
 /// Per-epoch simulated seconds for vanilla partition parallelism (the
 /// BNS engine measures its own traffic; this closed form exists for
-/// cross-checks): forward + backward move each boundary row twice.
-pub fn vanilla_epoch_time(layers: &[LayerWorkload], cost: &CostModel) -> f64 {
+/// cross-checks): forward + backward move each boundary row twice, at
+/// `precision` bytes per row (the engine's wire codec applies to both
+/// directions, so the model does too).
+pub fn vanilla_epoch_time(
+    layers: &[LayerWorkload],
+    cost: &CostModel,
+    precision: WirePrecision,
+) -> f64 {
     layers
         .iter()
         .map(|l| {
-            let bytes = 2 * l.max_boundary * l.d * 4; // fwd + bwd
+            let bytes = 2 * l.max_boundary as u64 * precision.row_bytes(l.d) as u64; // fwd + bwd
             let comp = compute_flops(l);
-            cost.comm_time(bytes as u64, 2 * (l.k as u64 - 1).max(1)) + cost.compute_time(comp)
+            cost.comm_time(bytes, 2 * (l.k as u64 - 1).max(1)) + cost.compute_time(comp)
         })
         .sum()
 }
 
 /// ROC-style epoch time: vanilla communication plus per-layer
 /// activation swaps (`n/k · d` floats down and up) over the swap link.
-pub fn roc_epoch_time(layers: &[LayerWorkload], cost: &CostModel, swap: &CostModel) -> f64 {
-    let base = vanilla_epoch_time(layers, cost);
+/// Swaps page full-precision activations between host and device — the
+/// wire codec never touches them — so only the vanilla base varies with
+/// `precision`.
+pub fn roc_epoch_time(
+    layers: &[LayerWorkload],
+    cost: &CostModel,
+    swap: &CostModel,
+    precision: WirePrecision,
+) -> f64 {
+    let base = vanilla_epoch_time(layers, cost, precision);
     let swap_time: f64 = layers
         .iter()
         .map(|l| {
-            let bytes = 2 * (l.n / l.k.max(1)) * l.d * 4;
+            let bytes = 2 * (l.n / l.k.max(1)) * l.d * WirePrecision::Exact.row_bytes(1);
             // Forward and backward each page activations in and out.
             2.0 * swap.comm_time(bytes as u64, 2)
         })
@@ -75,7 +89,10 @@ pub fn cagnet_epoch_time(layers: &[LayerWorkload], c: usize, cost: &CostModel) -
         .map(|l| {
             let k = l.k.max(1);
             let group = (k / c.max(1)).max(1);
-            let block_bytes = (l.n / k) * l.d * 4;
+            // CAGNET broadcasts dense f32 activation blocks; it has no
+            // boundary-wire codec, so its traffic never shrinks with
+            // the BNS wire precision.
+            let block_bytes = (l.n / k) * l.d * WirePrecision::Exact.row_bytes(1);
             let bcast_bytes = block_bytes as u64 * (group as u64 - 1).max(1);
             let msgs = (group as u64 - 1).max(1) * 2;
             let comp = compute_flops(l);
@@ -114,7 +131,10 @@ mod tests {
         let cost = CostModel::pcie3();
         let swap = CostModel::swap_link();
         let w = workload(8, 30_000);
-        assert!(roc_epoch_time(&w, &cost, &swap) > vanilla_epoch_time(&w, &cost));
+        assert!(
+            roc_epoch_time(&w, &cost, &swap, WirePrecision::Exact)
+                > vanilla_epoch_time(&w, &cost, WirePrecision::Exact)
+        );
     }
 
     #[test]
@@ -123,8 +143,8 @@ mod tests {
         // Tiny boundary: vanilla gets much cheaper, CAGNET stays put.
         let small_bd = workload(8, 1_000);
         let big_bd = workload(8, 50_000);
-        let v_small = vanilla_epoch_time(&small_bd, &cost);
-        let v_big = vanilla_epoch_time(&big_bd, &cost);
+        let v_small = vanilla_epoch_time(&small_bd, &cost, WirePrecision::Exact);
+        let v_big = vanilla_epoch_time(&big_bd, &cost, WirePrecision::Exact);
         let c_small = cagnet_epoch_time(&small_bd, 2, &cost);
         let c_big = cagnet_epoch_time(&big_bd, 2, &cost);
         assert!(v_small < v_big);
@@ -137,6 +157,23 @@ mod tests {
         let cost = CostModel::pcie3();
         let full = workload(8, 40_000);
         let sampled = workload(8, 4_000); // p = 0.1
-        assert!(vanilla_epoch_time(&sampled, &cost) < vanilla_epoch_time(&full, &cost));
+        assert!(
+            vanilla_epoch_time(&sampled, &cost, WirePrecision::Exact)
+                < vanilla_epoch_time(&full, &cost, WirePrecision::Exact)
+        );
+    }
+
+    /// Quantizing the boundary wire shrinks vanilla/BNS epoch time
+    /// monotonically with format width. (CAGNET has no precision
+    /// parameter at all: its dense broadcasts bypass the codec.)
+    #[test]
+    fn wire_precision_shrinks_vanilla_time() {
+        let cost = CostModel::pcie3();
+        let w = workload(8, 40_000);
+        let v_exact = vanilla_epoch_time(&w, &cost, WirePrecision::Exact);
+        let v_f16 = vanilla_epoch_time(&w, &cost, WirePrecision::F16);
+        let v_int8 = vanilla_epoch_time(&w, &cost, WirePrecision::Int8);
+        assert!(v_f16 < v_exact);
+        assert!(v_int8 < v_f16);
     }
 }

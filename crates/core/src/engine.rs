@@ -27,7 +27,9 @@ use crate::exchange::{
 use crate::memory::epoch_activation_bytes;
 use crate::plan::{LocalPartition, PartitionPlan};
 use crate::sampling::{build_epoch_topology, BoundarySampling, EpochTopology};
-use bns_comm::{create_world, AllReduceOp, CostModel, RankComm, TrafficClass, TrafficStats};
+use bns_comm::{
+    create_world, AllReduceOp, CostModel, RankComm, TrafficClass, TrafficStats, WirePrecision,
+};
 use bns_data::{Dataset, Labels};
 use bns_nn::loss::{bce_with_logits, softmax_cross_entropy};
 use bns_nn::metrics::{accuracy_counts, multilabel_counts, F1Counts};
@@ -93,6 +95,14 @@ pub struct TrainConfig {
     /// scheduling knob: any value produces bitwise-identical results
     /// for a fixed seed.
     pub workers: Option<usize>,
+    /// On-wire encoding of boundary features and gradients (`None` =
+    /// `BNS_QUANT`, default exact f32). Quantized modes compress the
+    /// dominant traffic — 2x for f16/bf16, ~3.5–3.9x for int8 at the
+    /// experiments' feature widths — at the cost of rounding error;
+    /// gradients use seeded stochastic rounding, so training stays
+    /// bitwise reproducible at any thread/worker/lane count.
+    /// Evaluation always exchanges exact (DESIGN.md §13).
+    pub wire_precision: Option<WirePrecision>,
 }
 
 impl TrainConfig {
@@ -110,6 +120,7 @@ impl TrainConfig {
             clip_norm: None,
             pipeline: false,
             workers: None,
+            wire_precision: None,
         }
     }
 
@@ -128,6 +139,7 @@ impl TrainConfig {
             clip_norm: None,
             pipeline: false,
             workers: None,
+            wire_precision: None,
         }
     }
 
@@ -146,6 +158,7 @@ impl TrainConfig {
             clip_norm: None,
             pipeline: false,
             workers: None,
+            wire_precision: None,
         }
     }
 
@@ -164,6 +177,7 @@ impl TrainConfig {
             clip_norm: None,
             pipeline: false,
             workers: None,
+            wire_precision: None,
         }
     }
 }
@@ -992,6 +1006,12 @@ struct RankTask {
     opt: Adam,
     rng: SeededRng,
     edge_seed: u64,
+    /// Resolved once per run (config wins over `BNS_QUANT`); applied to
+    /// the training feature/gradient exchanges. Eval always runs Exact.
+    precision: WirePrecision,
+    /// Run-level stochastic-rounding stream seed for quantized gradient
+    /// sends (mixed per (tag, destination) in `GradRecvOp::begin`).
+    sr_seed: u64,
 
     // Topology / exchange caches.
     full_topo: Option<EpochTopology>,
@@ -1061,6 +1081,8 @@ impl RankTask {
         let opt = Adam::new(cfg.lr);
         let rng = SeededRng::new(cfg.seed ^ 0x5eed_0000).fork(me as u64 + 1);
         let edge_seed = cfg.seed ^ 0xed6e_5eed;
+        let precision = cfg.wire_precision.unwrap_or_else(WirePrecision::from_env);
+        let sr_seed = cfg.seed ^ 0x570c_4a57_1c5e_ed00;
         let traffic = comm.stats().clone();
         let epochs = cfg.epochs;
         Self {
@@ -1077,6 +1099,8 @@ impl RankTask {
             opt,
             rng,
             edge_seed,
+            precision,
+            sr_seed,
             full_topo: None,
             full_exchange: None,
             static_topo: None,
@@ -1221,7 +1245,14 @@ impl RankTask {
                 let topo = self.static_topo.as_ref().expect("epoch topology built");
                 let tc =
                     Timed::with_args("exchange", &[("epoch", epoch.into()), ("layer", l.into())]);
-                send_boundary_rows(&mut self.comm, ex, &self.h, tag, &mut self.arena);
+                send_boundary_rows(
+                    &mut self.comm,
+                    ex,
+                    &self.h,
+                    tag,
+                    &mut self.arena,
+                    self.precision,
+                );
                 self.comm_s += tc.stop();
                 let tk =
                     Timed::with_args("compute", &[("epoch", epoch.into()), ("layer", l.into())]);
@@ -1243,6 +1274,7 @@ impl RankTask {
                     topo.feature_scale,
                     tag,
                     &mut self.arena,
+                    self.precision,
                 ));
                 self.state = RankState::ForwardRecv(l);
                 Flow::More
@@ -1356,6 +1388,8 @@ impl RankTask {
                     topo.feature_scale,
                     self.tag_base + 64 + l as u64,
                     &mut self.arena,
+                    self.precision,
+                    self.sr_seed,
                 ));
                 self.state = RankState::BackwardRecv(l);
                 Flow::More
@@ -1527,7 +1561,16 @@ impl RankTask {
                     &self.static_exchange,
                     &self.full_exchange,
                 );
-                send_boundary_rows(&mut self.comm, ex, &self.eval_h, tag, &mut self.arena);
+                // Eval always exchanges exact: metrics compare the exact
+                // forward regardless of the training wire precision.
+                send_boundary_rows(
+                    &mut self.comm,
+                    ex,
+                    &self.eval_h,
+                    tag,
+                    &mut self.arena,
+                    WirePrecision::Exact,
+                );
                 let n_full = self
                     .full_topo
                     .as_ref()
@@ -1541,6 +1584,7 @@ impl RankTask {
                     1.0,
                     tag,
                     &mut self.arena,
+                    WirePrecision::Exact,
                 ));
                 self.state = RankState::EvalRecv(l);
                 Flow::More
@@ -1831,6 +1875,10 @@ mod tests {
             eval_every: 0,
             hidden: vec![8],
             dropout: 0.0,
+            // Pinned: the byte identity below assumes 4 B/element even
+            // under a BNS_QUANT CI leg (quantized byte counts have their
+            // own test in tests/quant_determinism.rs).
+            wire_precision: Some(WirePrecision::Exact),
             ..TrainConfig::quick_test()
         };
         let run = train(&ds, &part, &cfg);
@@ -1871,6 +1919,9 @@ mod tests {
             clip_norm: None,
             pipeline: false,
             workers: None,
+            // Pinned: this compares against the exact full-graph
+            // trainer, which a quantized CI leg must not perturb.
+            wire_precision: Some(WirePrecision::Exact),
         };
         let full = train_full(
             &ds,

@@ -29,9 +29,23 @@
 //! and epochs. In steady state the per-layer comm path performs no
 //! heap allocation; `comm.arena.*` counters report bytes reused vs
 //! freshly allocated.
+//!
+//! ## Wire precision
+//!
+//! Every overlapped send/recv takes a [`WirePrecision`]. `Exact` is the
+//! historical raw-f32 path, byte for byte. The quantized modes pack the
+//! staged rows through the `bns_tensor::simd::codec` kernels into
+//! `Vec<u8>` payloads — so [`bns_comm::TrafficStats`] and the α–β cost
+//! model automatically see the *compressed* volume — and unpack on
+//! arrival (features fold `feature_scale` into the dequant pass; the
+//! gradient return path packs with seeded, per-row **stochastic
+//! rounding** and dequantizes into the same staging slots the exact
+//! path uses, so the fixed-order scatter-add downstream is untouched).
+//! The serial reference functions stay exact-only. See DESIGN.md §13.
 
 use crate::plan::LocalPartition;
-use bns_comm::{RankComm, TrafficClass};
+use bns_comm::{RankComm, TrafficClass, WirePrecision};
+use bns_tensor::simd::{self, codec};
 use bns_tensor::Matrix;
 use std::ops::Range;
 
@@ -169,6 +183,9 @@ pub struct ExchangeArena {
     h_bd: Matrix,
     /// Recycled payload buffers, reused for gather/send staging.
     free: Vec<Vec<f32>>,
+    /// Recycled quantized wire buffers (pack staging and received
+    /// payloads).
+    free_u8: Vec<Vec<u8>>,
     /// Reusable per-peer gradient staging slots.
     grad_slots: Vec<Vec<f32>>,
     /// Bytes served from the free list.
@@ -219,6 +236,27 @@ impl ExchangeArena {
         }
     }
 
+    /// A zeroed wire buffer of exactly `len` bytes, recycled like
+    /// [`ExchangeArena::take_buf`].
+    fn take_u8(&mut self, len: usize) -> Vec<u8> {
+        if let Some(pos) = self.free_u8.iter().position(|b| b.capacity() >= len) {
+            let mut buf = self.free_u8.swap_remove(pos);
+            self.bytes_reused += len as u64;
+            buf.clear();
+            buf.resize(len, 0);
+            return buf;
+        }
+        self.bytes_alloc += len as u64;
+        vec![0; len]
+    }
+
+    /// Returns a wire buffer to the free list.
+    fn recycle_u8(&mut self, buf: Vec<u8>) {
+        if buf.capacity() > 0 && self.free_u8.len() < ARENA_MAX_FREE {
+            self.free_u8.push(buf);
+        }
+    }
+
     /// Resets the boundary block to a zeroed `rows x cols` matrix,
     /// reusing its existing capacity.
     fn reset_h_bd(&mut self, rows: usize, cols: usize) {
@@ -235,6 +273,51 @@ impl ExchangeArena {
         bns_telemetry::counter_add("comm.arena.bytes_alloc", self.bytes_alloc);
         bns_telemetry::counter_add("comm.overlap.blocks", self.blocks);
         bns_telemetry::counter_add("comm.overlap.out_of_order_blocks", self.out_of_order_blocks);
+    }
+}
+
+/// A received boundary/gradient payload: raw f32 rows (`Exact`) or a
+/// quantized wire buffer to run through the codec.
+enum BlockPayload {
+    Exact(Vec<f32>),
+    Wire(Vec<u8>),
+}
+
+/// Packs a staged f32 block into a recycled wire buffer under a
+/// non-exact precision. `sr` selects the stochastic-rounding kernels
+/// (the gradient path) with the given per-destination stream seed.
+fn pack_block(
+    arena: &mut ExchangeArena,
+    src: &[f32],
+    d: usize,
+    precision: WirePrecision,
+    sr: Option<u64>,
+) -> Vec<u8> {
+    let rows = src.len() / d;
+    let mut wire = arena.take_u8(precision.payload_bytes(rows, d));
+    let bk = simd::begin_kernel();
+    match (precision, sr) {
+        (WirePrecision::F16, None) => codec::pack_f16(bk, &mut wire, src),
+        (WirePrecision::F16, Some(seed)) => codec::pack_f16_sr(bk, &mut wire, src, d, seed),
+        (WirePrecision::Bf16, None) => codec::pack_bf16(bk, &mut wire, src),
+        (WirePrecision::Bf16, Some(seed)) => codec::pack_bf16_sr(bk, &mut wire, src, d, seed),
+        (WirePrecision::Int8, None) => codec::pack_int8(bk, &mut wire, src, d),
+        (WirePrecision::Int8, Some(seed)) => codec::pack_int8_sr(bk, &mut wire, src, d, seed),
+        (WirePrecision::Exact, _) => unreachable!("exact payloads are sent unpacked"),
+    }
+    wire
+}
+
+/// Dequantizes a received wire buffer into `dst`, multiplying by
+/// `scale` (the feature path folds `feature_scale` in here; the
+/// gradient path passes `1.0` because its sends are pre-scaled).
+fn unpack_block(dst: &mut [f32], wire: &[u8], d: usize, scale: f32, precision: WirePrecision) {
+    let bk = simd::begin_kernel();
+    match precision {
+        WirePrecision::F16 => codec::unpack_f16(bk, dst, wire, scale),
+        WirePrecision::Bf16 => codec::unpack_bf16(bk, dst, wire, scale),
+        WirePrecision::Int8 => codec::unpack_int8(bk, dst, wire, d, scale),
+        WirePrecision::Exact => unreachable!("exact payloads arrive unpacked"),
     }
 }
 
@@ -290,7 +373,7 @@ pub fn exchange_features_eval(
     tag: u64,
     arena: &mut ExchangeArena,
 ) -> Matrix {
-    send_boundary_rows(comm, ex, h_inner, tag, arena);
+    send_boundary_rows(comm, ex, h_inner, tag, arena, WirePrecision::Exact);
     recv_boundary_blocks(
         comm,
         ex,
@@ -300,6 +383,7 @@ pub fn exchange_features_eval(
         tag,
         arena,
         None,
+        WirePrecision::Exact,
     );
     h_inner.vstack(arena.boundary())
 }
@@ -343,12 +427,18 @@ pub fn exchange_gradients_serial(
 /// arena buffers and issues every send. Returns immediately (sends are
 /// non-blocking); call [`recv_boundary_blocks`] after running whatever
 /// compute should overlap the transfer.
+///
+/// Non-exact precisions pack the staged rows (round-to-nearest-even —
+/// the feature path is deterministic, no stochastic rounding) and send
+/// the wire buffer instead, so the traffic counters record the
+/// compressed size.
 pub fn send_boundary_rows(
     comm: &mut RankComm,
     ex: &EpochExchange,
     h_inner: &Matrix,
     tag: u64,
     arena: &mut ExchangeArena,
+    precision: WirePrecision,
 ) {
     let d = h_inner.cols();
     for (j, rows) in ex.rows_to_send.iter().enumerate() {
@@ -359,7 +449,13 @@ pub fn send_boundary_rows(
         for (chunk, &r) in buf.chunks_exact_mut(d).zip(rows) {
             chunk.copy_from_slice(h_inner.row(r));
         }
-        comm.send(j, tag, buf, TrafficClass::Boundary);
+        if precision == WirePrecision::Exact {
+            comm.send(j, tag, buf, TrafficClass::Boundary);
+        } else {
+            let wire = pack_block(arena, &buf, d, precision, None);
+            arena.recycle(buf);
+            comm.send(j, tag, wire, TrafficClass::Boundary);
+        }
     }
 }
 
@@ -384,8 +480,9 @@ pub fn recv_boundary_blocks(
     tag: u64,
     arena: &mut ExchangeArena,
     stale: Option<&mut Option<Matrix>>,
+    precision: WirePrecision,
 ) {
-    let mut op = BoundaryRecvOp::begin(ex, n_selected, d, feature_scale, tag, arena);
+    let mut op = BoundaryRecvOp::begin(ex, n_selected, d, feature_scale, tag, arena, precision);
     while !op.poll(comm, ex, arena) {
         comm.wait_message();
     }
@@ -424,13 +521,17 @@ pub struct BoundaryRecvOp {
     tag: u64,
     d: usize,
     feature_scale: f32,
+    precision: WirePrecision,
     remaining: Vec<usize>,
     waited: bool,
 }
 
 impl BoundaryRecvOp {
     /// Resets the arena's boundary block and records which owners still
-    /// owe a block. Never blocks.
+    /// owe a block. Never blocks. `precision` must match what the peers
+    /// passed to [`send_boundary_rows`] — it decides the payload type
+    /// this op receives.
+    #[allow(clippy::too_many_arguments)]
     pub fn begin(
         ex: &EpochExchange,
         n_selected: usize,
@@ -438,6 +539,7 @@ impl BoundaryRecvOp {
         feature_scale: f32,
         tag: u64,
         arena: &mut ExchangeArena,
+        precision: WirePrecision,
     ) -> Self {
         arena.reset_h_bd(n_selected, d);
         let remaining: Vec<usize> = ex
@@ -450,6 +552,7 @@ impl BoundaryRecvOp {
             tag,
             d,
             feature_scale,
+            precision,
             remaining,
             waited: false,
         }
@@ -466,7 +569,14 @@ impl BoundaryRecvOp {
     ) -> bool {
         let d = self.d;
         while !self.remaining.is_empty() {
-            let Some((src, data)) = comm.try_recv_any::<Vec<f32>>(self.tag, &self.remaining) else {
+            let got = if self.precision == WirePrecision::Exact {
+                comm.try_recv_any::<Vec<f32>>(self.tag, &self.remaining)
+                    .map(|(s, v)| (s, BlockPayload::Exact(v)))
+            } else {
+                comm.try_recv_any::<Vec<u8>>(self.tag, &self.remaining)
+                    .map(|(s, v)| (s, BlockPayload::Wire(v)))
+            };
+            let Some((src, payload)) = got else {
                 self.waited = true;
                 return false;
             };
@@ -490,16 +600,25 @@ impl BoundaryRecvOp {
                 .find(|(o, _)| *o == src)
                 .expect("unexpected source")
                 .1;
-            debug_assert_eq!(data.len(), range.len() * d);
             let dst = &mut arena.h_bd.as_mut_slice()[range.start * d..range.end * d];
-            if self.feature_scale != 1.0 {
-                for (a, b) in dst.iter_mut().zip(&data) {
-                    *a = b * self.feature_scale;
+            match payload {
+                BlockPayload::Exact(data) => {
+                    debug_assert_eq!(data.len(), range.len() * d);
+                    if self.feature_scale != 1.0 {
+                        for (a, b) in dst.iter_mut().zip(&data) {
+                            *a = b * self.feature_scale;
+                        }
+                    } else {
+                        dst.copy_from_slice(&data);
+                    }
+                    arena.recycle(data);
                 }
-            } else {
-                dst.copy_from_slice(&data);
+                BlockPayload::Wire(wire) => {
+                    debug_assert_eq!(wire.len(), self.precision.payload_bytes(range.len(), d));
+                    unpack_block(dst, &wire, d, self.feature_scale, self.precision);
+                    arena.recycle_u8(wire);
+                }
             }
-            arena.recycle(data);
         }
         true
     }
@@ -515,6 +634,9 @@ impl BoundaryRecvOp {
 /// With `stale` (PipeGCN), fresh contributions are cached per peer and
 /// the previous epoch's are applied instead (first epoch applies
 /// fresh).
+///
+/// Non-exact precisions pack each block with seeded stochastic rounding
+/// (`sr_seed` is the run-level stream seed; see [`GradRecvOp::begin`]).
 #[allow(clippy::too_many_arguments)]
 pub fn exchange_gradients_overlapped(
     comm: &mut RankComm,
@@ -525,8 +647,19 @@ pub fn exchange_gradients_overlapped(
     tag: u64,
     arena: &mut ExchangeArena,
     stale: Option<&mut Option<Vec<Vec<f32>>>>,
+    precision: WirePrecision,
+    sr_seed: u64,
 ) {
-    let mut op = GradRecvOp::begin(comm, ex, d_bd, feature_scale, tag, arena);
+    let mut op = GradRecvOp::begin(
+        comm,
+        ex,
+        d_bd,
+        feature_scale,
+        tag,
+        arena,
+        precision,
+        sr_seed,
+    );
     while !op.poll(comm, ex, arena) {
         comm.wait_message();
     }
@@ -542,6 +675,7 @@ pub fn exchange_gradients_overlapped(
 pub struct GradRecvOp {
     tag: u64,
     d: usize,
+    precision: WirePrecision,
     slots: Vec<Vec<f32>>,
     remaining: Vec<usize>,
     waited: bool,
@@ -550,6 +684,14 @@ pub struct GradRecvOp {
 impl GradRecvOp {
     /// Issues every gradient send (scaled by `feature_scale`, the chain
     /// rule through the `H/p` rescale). Never blocks.
+    ///
+    /// Non-exact precisions pack each scaled block with stochastic
+    /// rounding. The per-destination stream seed is
+    /// `codec::rand_at(sr_seed, tag, owner)` — `tag` already encodes
+    /// epoch and layer, so every (epoch, layer, destination) block gets
+    /// an independent stream that is a pure function of the run seed,
+    /// bitwise reproducible at any thread/worker/lane count.
+    #[allow(clippy::too_many_arguments)]
     pub fn begin(
         comm: &mut RankComm,
         ex: &EpochExchange,
@@ -557,6 +699,8 @@ impl GradRecvOp {
         feature_scale: f32,
         tag: u64,
         arena: &mut ExchangeArena,
+        precision: WirePrecision,
+        sr_seed: u64,
     ) -> Self {
         let d = d_bd.cols();
         for (owner, range) in &ex.owner_sel {
@@ -572,7 +716,14 @@ impl GradRecvOp {
             } else {
                 buf.copy_from_slice(src);
             }
-            comm.send(*owner, tag, buf, TrafficClass::Boundary);
+            if precision == WirePrecision::Exact {
+                comm.send(*owner, tag, buf, TrafficClass::Boundary);
+            } else {
+                let stream = codec::rand_at(sr_seed, tag, *owner as u64);
+                let wire = pack_block(arena, &buf, d, precision, Some(stream));
+                arena.recycle(buf);
+                comm.send(*owner, tag, wire, TrafficClass::Boundary);
+            }
         }
         let mut slots = std::mem::take(&mut arena.grad_slots);
         slots.resize_with(comm.world_size(), Vec::new);
@@ -586,6 +737,7 @@ impl GradRecvOp {
         Self {
             tag,
             d,
+            precision,
             slots,
             remaining,
             waited: false,
@@ -601,7 +753,14 @@ impl GradRecvOp {
         arena: &mut ExchangeArena,
     ) -> bool {
         while !self.remaining.is_empty() {
-            let Some((src, data)) = comm.try_recv_any::<Vec<f32>>(self.tag, &self.remaining) else {
+            let got = if self.precision == WirePrecision::Exact {
+                comm.try_recv_any::<Vec<f32>>(self.tag, &self.remaining)
+                    .map(|(s, v)| (s, BlockPayload::Exact(v)))
+            } else {
+                comm.try_recv_any::<Vec<u8>>(self.tag, &self.remaining)
+                    .map(|(s, v)| (s, BlockPayload::Wire(v)))
+            };
+            let Some((src, payload)) = got else {
                 self.waited = true;
                 return false;
             };
@@ -619,8 +778,23 @@ impl GradRecvOp {
                 arena.out_of_order_blocks += 1;
             }
             self.remaining.retain(|&j| j != src);
-            debug_assert_eq!(data.len(), ex.rows_to_send[src].len() * self.d);
-            self.slots[src] = data;
+            let rows = ex.rows_to_send[src].len();
+            match payload {
+                BlockPayload::Exact(data) => {
+                    debug_assert_eq!(data.len(), rows * self.d);
+                    self.slots[src] = data;
+                }
+                BlockPayload::Wire(wire) => {
+                    // Dequantize into an f32 staging slot so the
+                    // fixed-order scatter-add in `finish` (and the
+                    // PipeGCN stale cache) are precision-agnostic.
+                    debug_assert_eq!(wire.len(), self.precision.payload_bytes(rows, self.d));
+                    let mut data = arena.take_buf(rows * self.d);
+                    unpack_block(&mut data, &wire, self.d, 1.0, self.precision);
+                    arena.recycle_u8(wire);
+                    self.slots[src] = data;
+                }
+            }
         }
         true
     }

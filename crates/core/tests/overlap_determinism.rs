@@ -12,7 +12,7 @@
 //! RNG stream included), the gradient scatter-add direction, and arena
 //! buffer reuse across rounds.
 
-use bns_comm::run_ranks;
+use bns_comm::{run_ranks, WirePrecision};
 use bns_data::SyntheticSpec;
 use bns_gcn::engine::{train_with_plan, ModelArch, TrainConfig};
 use bns_gcn::exchange::{
@@ -69,8 +69,25 @@ fn check_world(k: usize, p: f64, seed: u64, threads: usize) {
 
             // Feature exchange: serial reference vs overlapped.
             let h_full = exchange_features_serial(&mut comm, &ex, &h_inner, n_sel, scale, tag);
-            send_boundary_rows(&mut comm, &ex, &h_inner, tag + 1, &mut arena);
-            recv_boundary_blocks(&mut comm, &ex, n_sel, d, scale, tag + 1, &mut arena, None);
+            send_boundary_rows(
+                &mut comm,
+                &ex,
+                &h_inner,
+                tag + 1,
+                &mut arena,
+                WirePrecision::Exact,
+            );
+            recv_boundary_blocks(
+                &mut comm,
+                &ex,
+                n_sel,
+                d,
+                scale,
+                tag + 1,
+                &mut arena,
+                None,
+                WirePrecision::Exact,
+            );
             assert_bitwise(
                 &h_full,
                 &h_inner.vstack(arena.boundary()),
@@ -126,6 +143,8 @@ fn check_world(k: usize, p: f64, seed: u64, threads: usize) {
                 tag + 3,
                 &mut arena,
                 None,
+                WirePrecision::Exact,
+                0,
             );
             assert_bitwise(&g_serial, &g_ovl, "gradient exchange");
         }
@@ -179,6 +198,7 @@ fn training_curves_are_run_to_run_deterministic() {
             clip_norm: Some(5.0),
             pipeline,
             workers: None,
+            wire_precision: None,
         };
         let a = train_with_plan(&plan, &cfg);
         let b = train_with_plan(&plan, &cfg);

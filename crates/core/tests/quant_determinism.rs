@@ -1,0 +1,145 @@
+//! End-to-end properties of the quantized boundary exchange: every
+//! wire precision trains deterministically (run-to-run, and invariant
+//! to the worker count), the quantized formats genuinely perturb the
+//! arithmetic (their curves differ from exact — quantization is not a
+//! no-op), and the byte counters report the *compressed* payload with
+//! exact arithmetic ratios (selection metadata rides the control
+//! class, so boundary bytes are pure payload).
+//!
+//! The dataset uses `feat_dim == hidden == 64` so every boundary block
+//! — features forward, gradients backward, at every layer — carries
+//! rows of exactly 64 floats, which makes the per-format byte counts
+//! exact closed forms of the exact-path count:
+//!
+//! * f16/bf16: 2 bytes per element — exactly half the exact bytes.
+//! * int8: per row, 64 payload bytes + 8 header bytes against 256
+//!   exact bytes — exactly 72/256 of the exact bytes.
+
+use bns_comm::WirePrecision;
+use bns_data::SyntheticSpec;
+use bns_gcn::engine::{train_with_plan, ModelArch, TrainConfig, TrainRun};
+use bns_gcn::plan::PartitionPlan;
+use bns_gcn::sampling::BoundarySampling;
+use bns_partition::{MetisLikePartitioner, Partitioner};
+use std::sync::Arc;
+
+const D: usize = 64;
+
+fn plan() -> Arc<PartitionPlan> {
+    let ds = Arc::new(
+        SyntheticSpec::reddit_sim()
+            .with_nodes(320)
+            .with_feat_dim(D)
+            .generate(13),
+    );
+    let part = MetisLikePartitioner::default().partition(&ds.graph, 3, 2);
+    Arc::new(PartitionPlan::build(&ds, &part))
+}
+
+fn cfg(precision: WirePrecision) -> TrainConfig {
+    TrainConfig {
+        arch: ModelArch::Sage,
+        hidden: vec![D],
+        dropout: 0.2,
+        lr: 0.01,
+        epochs: 4,
+        sampling: BoundarySampling::Bns { p: 0.5 },
+        eval_every: 0,
+        seed: 21,
+        clip_norm: Some(5.0),
+        pipeline: false,
+        workers: None,
+        wire_precision: Some(precision),
+    }
+}
+
+fn losses(run: &TrainRun) -> Vec<u64> {
+    run.epochs.iter().map(|e| e.loss.to_bits()).collect()
+}
+
+/// Identical configs give bit-identical loss curves under every wire
+/// precision — quantization (including the stochastically rounded
+/// gradient path) must not introduce any run-to-run nondeterminism.
+#[test]
+fn quantized_training_is_run_to_run_deterministic() {
+    let plan = plan();
+    for precision in WirePrecision::ALL {
+        let c = cfg(precision);
+        let a = train_with_plan(&plan, &c);
+        let b = train_with_plan(&plan, &c);
+        assert_eq!(
+            losses(&a),
+            losses(&b),
+            "{precision}: loss curve diverged between identical runs"
+        );
+    }
+}
+
+/// The loss curve is a pure function of the config — the number of
+/// cooperative workers multiplexing the rank tasks must not leak into
+/// results, quantized or not (the SR streams are counter-based, keyed
+/// by (seed, tag, peer, row, element), never by execution order).
+#[test]
+fn quantized_training_is_worker_count_invariant() {
+    let plan = plan();
+    for precision in [WirePrecision::F16, WirePrecision::Int8] {
+        let mut c = cfg(precision);
+        c.workers = Some(1);
+        let reference = losses(&train_with_plan(&plan, &c));
+        for w in [2usize, 4] {
+            c.workers = Some(w);
+            assert_eq!(
+                reference,
+                losses(&train_with_plan(&plan, &c)),
+                "{precision}: loss curve changed with workers = {w}"
+            );
+        }
+    }
+}
+
+/// Each quantized format actually changes the arithmetic: its curve
+/// differs from the exact path's (otherwise the codec is silently not
+/// engaged), while staying finite and converging in the same regime.
+#[test]
+fn quantized_curves_differ_from_exact_but_converge() {
+    let plan = plan();
+    let exact = train_with_plan(&plan, &cfg(WirePrecision::Exact));
+    let exact_bits = losses(&exact);
+    for precision in [WirePrecision::F16, WirePrecision::Bf16, WirePrecision::Int8] {
+        let run = train_with_plan(&plan, &cfg(precision));
+        assert_ne!(
+            exact_bits,
+            losses(&run),
+            "{precision}: curve identical to exact — codec not engaged?"
+        );
+        let first = run.epochs.first().unwrap().loss;
+        let last = run.epochs.last().unwrap().loss;
+        assert!(last.is_finite(), "{precision}: loss diverged to {last}");
+        assert!(
+            last < first,
+            "{precision}: loss did not decrease ({first} -> {last})"
+        );
+    }
+}
+
+/// `TrafficStats` reports the compressed wire payload: with every
+/// exchanged block at d = 64, f16/bf16 move exactly half the exact
+/// bytes and int8 exactly 72/256 of them.
+#[test]
+fn traffic_counters_report_compressed_bytes() {
+    let plan = plan();
+    let exact = train_with_plan(&plan, &cfg(WirePrecision::Exact)).total_boundary_bytes();
+    assert!(exact > 0, "no boundary traffic in the baseline");
+    for precision in [WirePrecision::F16, WirePrecision::Bf16] {
+        let got = train_with_plan(&plan, &cfg(precision)).total_boundary_bytes();
+        assert_eq!(2 * got, exact, "{precision}: not exactly half the bytes");
+    }
+    let int8 = train_with_plan(&plan, &cfg(WirePrecision::Int8)).total_boundary_bytes();
+    assert_eq!(
+        int8 * (4 * D as u64),
+        exact * (D as u64 + 8),
+        "int8: not exactly (d+8)/4d of the exact bytes"
+    );
+    // The headline compression ratios the formats promise.
+    assert!(exact as f64 / int8 as f64 >= 3.5);
+}

@@ -24,6 +24,7 @@ fn cfg(sampling: BoundarySampling) -> TrainConfig {
         clip_norm: None,
         pipeline: false,
         workers: None,
+        wire_precision: None,
     }
 }
 

@@ -1266,6 +1266,8 @@ dispatch_kernels! {
     pub fn adam_update(p: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], h: &AdamHyper);
 }
 
+pub mod codec;
+
 #[cfg(test)]
 mod tests {
     use super::*;

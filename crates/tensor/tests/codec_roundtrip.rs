@@ -1,0 +1,317 @@
+//! Round-trip, error-bound, unbiasedness and cross-backend determinism
+//! properties of the wire codecs (`bns_tensor::simd::codec`).
+//!
+//! The codecs carry the quantized boundary exchange, so they inherit
+//! the SIMD backend's determinism contract: every pack/unpack must be
+//! bitwise identical on every backend this CPU supports, for both the
+//! round-to-nearest feature path and the stochastically rounded
+//! gradient path (whose randomness is counter-based, hence
+//! position-pure). On top of that the formats promise analytic error
+//! bounds — int8 is within half a step of the per-row affine grid,
+//! f16/bf16 reproduce exactly-representable values exactly, and
+//! stochastic rounding is unbiased in expectation.
+
+use bns_tensor::simd::{codec, Backend};
+use bns_tensor::SeededRng;
+use proptest::prelude::*;
+
+/// A pack kernel under test: name, the boxed pack closure, and the
+/// wire-buffer size it expects.
+type PackCase<'a> = (&'a str, Box<dyn Fn(Backend, &mut [u8]) + 'a>, usize);
+/// An unpack kernel under test: name and the boxed unpack closure.
+type UnpackCase<'a> = (&'a str, Box<dyn Fn(Backend, &mut [f32]) + 'a>);
+
+/// Every backend this CPU can run, scalar first (the reference).
+fn backends() -> Vec<Backend> {
+    Backend::ALL
+        .into_iter()
+        .filter(|bk| bk.is_available())
+        .collect()
+}
+
+/// Random row-major data in a training-like range with a few exact
+/// values planted (so the "representable stays exact" corner is always
+/// exercised).
+fn sample_rows(rng: &mut SeededRng, rows: usize, d: usize) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..rows * d)
+        .map(|_| rng.uniform_range(-8.0, 8.0))
+        .collect();
+    for s in [0.0f32, -0.0, 1.0, -2.5] {
+        let at = rng.usize_below(v.len().max(1));
+        if !v.is_empty() {
+            v[at] = s;
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// int8: every finite element dequantizes to within half a
+    /// quantization step of the original (round-to-nearest onto the
+    /// per-row affine grid), and the row min/max endpoints are exact.
+    #[test]
+    fn int8_roundtrip_error_is_within_half_step(
+        rows in 1usize..12, d in 1usize..40, seed in 0u64..1_000_000
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let src = sample_rows(&mut rng, rows, d);
+        let rb = d + codec::INT8_HEADER_BYTES;
+        let mut wire = vec![0u8; rows * rb];
+        codec::pack_int8(Backend::Scalar, &mut wire, &src, d);
+        let mut out = vec![0.0f32; rows * d];
+        codec::unpack_int8(Backend::Scalar, &mut out, &wire, d, 1.0);
+        for (row, (srow, orow)) in src.chunks_exact(d).zip(out.chunks_exact(d)).enumerate() {
+            let scale = f32::from_le_bytes(wire[row * rb..row * rb + 4].try_into().unwrap());
+            // Half a step, plus slack for the f32 rounding of
+            // (x - zp) * inv and zp + q * scale themselves.
+            let bound = 0.5 * scale * (1.0 + 1e-5) + 1e-6;
+            for (j, (&x, &y)) in srow.iter().zip(orow).enumerate() {
+                prop_assert!(
+                    (x - y).abs() <= bound,
+                    "row {row} elem {j}: {x} -> {y}, step {scale}"
+                );
+            }
+            let lo = srow.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = srow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(orow.contains(&lo), "row min must be exact");
+            if scale > 0.0 {
+                let hi_deq = orow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                prop_assert!(
+                    (hi_deq - hi).abs() <= 1e-4 * hi.abs().max(1.0),
+                    "row max {hi} came back {hi_deq}"
+                );
+            }
+        }
+    }
+
+    /// f16/bf16: a value that is exactly representable in the narrow
+    /// format round-trips bitwise. Representable values are generated
+    /// from the narrow side (every finite f16/bf16 widens exactly).
+    #[test]
+    fn half_formats_are_exact_on_representable_values(bits in 0u16..=u16::MAX) {
+        // f16: skip inf/NaN encodings (exp field all ones).
+        if bits & 0x7c00 != 0x7c00 {
+            let x = codec::f16_to_f32(bits);
+            prop_assert_eq!(codec::f32_to_f16_rne(x), bits);
+        }
+        // bf16: skip inf/NaN encodings (exp field all ones).
+        if bits & 0x7f80 != 0x7f80 {
+            let x = codec::bf16_to_f32(bits);
+            prop_assert_eq!(codec::f32_to_bf16_rne(x), bits);
+        }
+    }
+
+    /// Every pack/unpack kernel is bitwise identical across backends —
+    /// the property that lets a heterogeneous set of ranks (or a CI
+    /// matrix of `BNS_SIMD` values) exchange quantized rows and still
+    /// train deterministically.
+    #[test]
+    fn codec_kernels_bitwise_across_backends(
+        rows in 1usize..10, d in 1usize..32, seed in 0u64..1_000_000
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let mut src = sample_rows(&mut rng, rows, d);
+        // NaN and ±∞ must not break cross-backend identity either.
+        let n = src.len();
+        src[rng.usize_below(n)] = f32::NAN;
+        src[rng.usize_below(n)] = f32::INFINITY;
+        let scale = rng.uniform_range(0.5, 4.0);
+        let sr_seed = rng.next_u64();
+
+        let half = vec![0u8; rows * d * 2];
+        let i8w = vec![0u8; rows * (d + codec::INT8_HEADER_BYTES)];
+        let packs: [PackCase; 6] = [
+            ("pack_f16", Box::new(|bk, w: &mut [u8]| codec::pack_f16(bk, w, &src)), half.len()),
+            ("pack_bf16", Box::new(|bk, w: &mut [u8]| codec::pack_bf16(bk, w, &src)), half.len()),
+            (
+                "pack_f16_sr",
+                Box::new(|bk, w: &mut [u8]| codec::pack_f16_sr(bk, w, &src, d, sr_seed)),
+                half.len(),
+            ),
+            (
+                "pack_bf16_sr",
+                Box::new(|bk, w: &mut [u8]| codec::pack_bf16_sr(bk, w, &src, d, sr_seed)),
+                half.len(),
+            ),
+            (
+                "pack_int8",
+                Box::new(|bk, w: &mut [u8]| codec::pack_int8(bk, w, &src, d)),
+                i8w.len(),
+            ),
+            (
+                "pack_int8_sr",
+                Box::new(|bk, w: &mut [u8]| codec::pack_int8_sr(bk, w, &src, d, sr_seed)),
+                i8w.len(),
+            ),
+        ];
+        for (name, pack, len) in &packs {
+            let mut reference = vec![0u8; *len];
+            pack(Backend::Scalar, &mut reference);
+            for bk in backends() {
+                let mut got = vec![0u8; *len];
+                pack(bk, &mut got);
+                prop_assert_eq!(&reference, &got, "{} diverged on {}", name, bk.name());
+            }
+        }
+
+        // Unpack: pack once on scalar, unpack on every backend; the
+        // lanewise scale multiply must not change a single bit.
+        let mut f16w = vec![0u8; rows * d * 2];
+        codec::pack_f16(Backend::Scalar, &mut f16w, &src);
+        let mut bf16w = vec![0u8; rows * d * 2];
+        codec::pack_bf16(Backend::Scalar, &mut bf16w, &src);
+        let mut int8w = vec![0u8; rows * (d + codec::INT8_HEADER_BYTES)];
+        codec::pack_int8(Backend::Scalar, &mut int8w, &src, d);
+        let unpacks: [UnpackCase; 3] = [
+            (
+                "unpack_f16",
+                Box::new(|bk, o: &mut [f32]| codec::unpack_f16(bk, o, &f16w, scale)),
+            ),
+            (
+                "unpack_bf16",
+                Box::new(|bk, o: &mut [f32]| codec::unpack_bf16(bk, o, &bf16w, scale)),
+            ),
+            (
+                "unpack_int8",
+                Box::new(|bk, o: &mut [f32]| codec::unpack_int8(bk, o, &int8w, d, scale)),
+            ),
+        ];
+        for (name, unpack) in &unpacks {
+            let mut reference = vec![0.0f32; rows * d];
+            unpack(Backend::Scalar, &mut reference);
+            for bk in backends() {
+                let mut got = vec![0.0f32; rows * d];
+                unpack(bk, &mut got);
+                let same = reference
+                    .iter()
+                    .zip(&got)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                prop_assert!(same, "{} diverged on {}", name, bk.name());
+            }
+        }
+    }
+
+    /// Stochastic rounding never lands anywhere but the two bracketing
+    /// grid points, and its per-position randomness is position-pure:
+    /// packing the same rows twice under one seed is byte-identical.
+    #[test]
+    fn sr_stays_on_bracketing_grid_points(
+        rows in 1usize..8, d in 1usize..24, seed in 0u64..1_000_000
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let src = sample_rows(&mut rng, rows, d);
+        let sr_seed = rng.next_u64();
+        let mut wire = vec![0u8; rows * d * 2];
+        codec::pack_f16_sr(Backend::Scalar, &mut wire, &src, d, sr_seed);
+        let mut again = vec![0u8; rows * d * 2];
+        codec::pack_f16_sr(Backend::Scalar, &mut again, &src, d, sr_seed);
+        prop_assert_eq!(&wire, &again, "SR must be deterministic per seed");
+        for (&x, h2) in src.iter().zip(wire.chunks_exact(2)) {
+            let y = codec::f16_to_f32(u16::from_le_bytes([h2[0], h2[1]]));
+            let down = codec::f16_to_f32(codec::f32_to_f16_rne(x));
+            // y is either RNE's choice or its neighbor one ulp toward
+            // the other side of x — never further than one f16 step.
+            let lo = down.min(x);
+            let hi = down.max(x);
+            let step = (hi - lo).abs().max(f32::EPSILON);
+            prop_assert!(
+                (y - x).abs() <= 2.0 * step + 2.0 * (x.abs() * 0.001),
+                "SR of {x} landed at {y}, too far off the grid"
+            );
+        }
+    }
+}
+
+/// SR unbiasedness: averaging the dequantized value over many
+/// independent seeds converges to the input, for every format. RNE by
+/// contrast has a fixed bias for a value sitting off-center between
+/// grid points — which is exactly why the gradient path uses SR.
+#[test]
+fn stochastic_rounding_is_unbiased() {
+    // Values chosen off-grid in every format (f16 step at 1.2 is
+    // ~0.00098; bf16 step is ~0.0078; int8 step depends on the row).
+    let src = [1.2003f32, -0.7377, 3.2083, 0.0101];
+    let d = src.len();
+    let trials = 4000u64;
+
+    let mut sums = [[0.0f64; 4]; 3];
+    for t in 0..trials {
+        let seed = 0x5eed_0000 + t;
+        let mut f16w = vec![0u8; d * 2];
+        codec::pack_f16_sr(Backend::Scalar, &mut f16w, &src, d, seed);
+        let mut bf16w = vec![0u8; d * 2];
+        codec::pack_bf16_sr(Backend::Scalar, &mut bf16w, &src, d, seed);
+        let mut i8w = vec![0u8; d + codec::INT8_HEADER_BYTES];
+        codec::pack_int8_sr(Backend::Scalar, &mut i8w, &src, d, seed);
+
+        let mut out = vec![0.0f32; d];
+        codec::unpack_f16(Backend::Scalar, &mut out, &f16w, 1.0);
+        for (s, &y) in sums[0].iter_mut().zip(&out) {
+            *s += y as f64;
+        }
+        codec::unpack_bf16(Backend::Scalar, &mut out, &bf16w, 1.0);
+        for (s, &y) in sums[1].iter_mut().zip(&out) {
+            *s += y as f64;
+        }
+        codec::unpack_int8(Backend::Scalar, &mut out, &i8w, d, 1.0);
+        for (s, &y) in sums[2].iter_mut().zip(&out) {
+            *s += y as f64;
+        }
+    }
+    // int8's grid is shared by the whole row: one step is
+    // (max - min)/255 regardless of the element's own magnitude, so a
+    // small element in a wide row sees the full row step as its noise
+    // scale.
+    let lo = src.iter().cloned().fold(f32::INFINITY, f32::min) as f64;
+    let hi = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let int8_step = (hi - lo) / 255.0;
+    for (fmt, sums) in ["f16", "bf16", "int8"].iter().zip(&sums) {
+        for (&x, &s) in src.iter().zip(sums) {
+            let mean = s / trials as f64;
+            // The mean must sit within a small fraction of one
+            // quantization step of the input (the empirical-mean noise
+            // is ~step/(2·√trials) ≈ 0.008·step, so 0.05·step is ~6σ).
+            // bf16's step at these magnitudes is ~2^-8 of the value;
+            // use that as the yard for the float formats.
+            let step = if *fmt == "int8" {
+                int8_step
+            } else {
+                (x.abs() as f64) / 128.0 + 1e-4
+            };
+            assert!(
+                (mean - x as f64).abs() < 0.05 * step + 5e-5,
+                "{fmt}: E[deq({x})] = {mean}, off by more than SR noise"
+            );
+        }
+    }
+}
+
+/// NaN policy across formats: the half formats carry NaN through the
+/// wire, int8 replaces it with the row zero-point (finite), and no
+/// format ever turns a non-NaN into NaN.
+#[test]
+fn nan_policy_per_format() {
+    let src = [f32::NAN, 1.0f32, 2.0, 3.0];
+    let d = src.len();
+
+    let mut f16w = vec![0u8; d * 2];
+    codec::pack_f16(Backend::Scalar, &mut f16w, &src);
+    let mut out = vec![0.0f32; d];
+    codec::unpack_f16(Backend::Scalar, &mut out, &f16w, 2.0);
+    assert!(out[0].is_nan(), "f16 must preserve NaN");
+    assert!(out[1..].iter().all(|x| x.is_finite()));
+
+    let mut bf16w = vec![0u8; d * 2];
+    codec::pack_bf16(Backend::Scalar, &mut bf16w, &src);
+    codec::unpack_bf16(Backend::Scalar, &mut out, &bf16w, 2.0);
+    assert!(out[0].is_nan(), "bf16 must preserve NaN");
+    assert!(out[1..].iter().all(|x| x.is_finite()));
+
+    let mut i8w = vec![0u8; d + codec::INT8_HEADER_BYTES];
+    codec::pack_int8(Backend::Scalar, &mut i8w, &src, d);
+    codec::unpack_int8(Backend::Scalar, &mut out, &i8w, d, 2.0);
+    assert!(out.iter().all(|x| x.is_finite()), "int8 drops NaN to zp");
+    assert_eq!(out[0], 2.0, "NaN became zero-point (1.0) x scale (2.0)");
+}

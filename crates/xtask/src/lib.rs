@@ -146,6 +146,10 @@ impl AuditConfig {
                 "crates/nn/src/optim.rs".into(),
                 "crates/tensor/src/matrix.rs".into(),
                 "crates/tensor/src/simd.rs".into(),
+                // The wire codecs: quantize/dequantize must stay
+                // bitwise identical across backends, so FMA and hash
+                // collections are banned like any other kernel.
+                "crates/tensor/src/simd/codec.rs".into(),
                 "crates/core/src/exchange.rs".into(),
                 // The per-query serving hot path: closure expansion,
                 // feature gather, and the boundary cache.

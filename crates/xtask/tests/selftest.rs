@@ -28,7 +28,11 @@ fn fixture_cfg(ledger_name: &str) -> AuditConfig {
         )),
         root,
         spawn_allow: vec![],
-        kernel_files: vec!["hash_kernel.rs".into(), "fma_kernel.rs".into()],
+        kernel_files: vec![
+            "hash_kernel.rs".into(),
+            "fma_kernel.rs".into(),
+            "codec_fma_kernel.rs".into(),
+        ],
         skip: vec![],
     }
 }
@@ -70,6 +74,11 @@ fn every_seeded_fixture_violation_is_caught() {
     // Rule 5: `mul_add` in a configured kernel file, at the call line.
     let fma = rules_for(&report, "fma_kernel.rs");
     assert_eq!(fma, vec![(&Rule::FmaInKernel, 5)]);
+
+    // Rule 5 again for the codec-kernel fixture: the wire codecs are
+    // under the same FMA ban as every other kernel file.
+    let codec_fma = rules_for(&report, "codec_fma_kernel.rs");
+    assert_eq!(codec_fma, vec![(&Rule::FmaInKernel, 7)]);
 }
 
 #[test]
@@ -92,6 +101,7 @@ fn bless_then_check_roundtrips_and_detects_tampering() {
         "spawn_violation.rs".into(),
         "hash_kernel.rs".into(),
         "fma_kernel.rs".into(),
+        "codec_fma_kernel.rs".into(),
     ];
 
     let n = bless(&cfg).unwrap().unwrap();

@@ -48,6 +48,7 @@ fn main() {
         clip_norm: Some(1.0),
         pipeline: false,
         workers: None,
+        wire_precision: None,
     };
     let sampled = train(&ds, &part, &cfg);
 

@@ -74,6 +74,7 @@ fn main() {
             clip_norm: None,
             pipeline: false,
             workers: None,
+            wire_precision: None,
         },
     );
     let sample_s: f64 = run.epochs.iter().map(|e| e.sample_s).sum();

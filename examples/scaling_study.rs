@@ -39,6 +39,7 @@ fn main() {
                 clip_norm: None,
                 pipeline: false,
                 workers: None,
+                wire_precision: None,
             };
             let run = train_with_plan(&plan, &cfg);
             let selected: usize = run

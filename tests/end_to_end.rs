@@ -26,6 +26,7 @@ fn base_cfg() -> TrainConfig {
         clip_norm: None,
         pipeline: false,
         workers: None,
+        wire_precision: None,
     }
 }
 
