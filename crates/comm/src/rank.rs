@@ -235,6 +235,9 @@ impl RankComm {
         self.send_seq[to] += 1;
         let msg = Message {
             tag,
+            // Owned messages are the wire contract, metered by
+            // TrafficStats rather than recycled.
+            // bns-allow(BNS-A005): the envelope boxes each payload once
             payload: Box::new(payload),
             bytes,
             seq,
@@ -256,6 +259,7 @@ impl RankComm {
         // guaranteed to observe the message on its next drain. The
         // callback is cloned out of the slot before invocation so no
         // lock is held while running scheduler code.
+        // bns-allow(BNS-A005): waker Arc clone is a refcount bump, no heap growth
         let wake = peer.waker.lock().unwrap_or_else(|e| e.into_inner()).clone();
         if let Some(wake) = wake {
             wake();
@@ -720,6 +724,8 @@ impl AllReduceOp {
             (r + 1 + k - s) % k
         };
         let tag = COLL_BASE + self.seq * MAX_COLL_STEPS + self.step as u64;
+        // Chunks are 1/k of a small buffer and become the wire payload.
+        // bns-allow(BNS-A005): ring all-reduce stages one owned chunk per step
         let out: Vec<f32> = buf[Self::chunk_range(k, buf.len(), send_c)].to_vec();
         comm.send_raw(next, tag, out, TrafficClass::AllReduce);
     }

@@ -154,6 +154,9 @@ impl SelectionOp {
             self.rows_to_send[src] = rel
                 .iter()
                 .map(|&p| lp.send_lists[src][p as usize])
+                // Size tracks the fresh boundary sample, so a
+                // recycled buffer would just resize anyway.
+                // bns-allow(BNS-A005): per-peer send list rebuilt once per epoch
                 .collect();
             self.remaining.retain(|&j| j != src);
         }
@@ -503,6 +506,8 @@ pub fn swap_boundary_stale(arena: &mut ExchangeArena, stale: Option<&mut Option<
                 *cache = Some(prev);
             }
             None => {
+                // Every later epoch swaps buffers instead of cloning.
+                // bns-allow(BNS-A005): one-time seed of the stale-boundary cache
                 *cache = Some(arena.h_bd.clone());
             }
         }
@@ -547,6 +552,7 @@ impl BoundaryRecvOp {
             .iter()
             .filter(|(_, r)| !r.is_empty())
             .map(|(o, _)| *o)
+            // bns-allow(BNS-A005): pending-owner worklist, once per epoch, world-size bounded
             .collect();
         Self {
             tag,
@@ -733,6 +739,7 @@ impl GradRecvOp {
             .enumerate()
             .filter(|(_, r)| !r.is_empty())
             .map(|(j, _)| j)
+            // bns-allow(BNS-A005): pending-peer worklist, once per epoch, world-size bounded
             .collect();
         Self {
             tag,

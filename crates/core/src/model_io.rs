@@ -88,6 +88,9 @@ struct Reader<'a> {
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], ModelIoError> {
         if self.pos + n > self.buf.len() {
+            // Reader is model IO, reached only via a name-collision
+            // edge (Option::take).
+            // bns-allow(BNS-A005): error-path message formatting
             return Err(err(format!(
                 "truncated: need {n} bytes at offset {}, have {}",
                 self.pos,

@@ -150,7 +150,7 @@ impl PartitionPlan {
                     .collect();
                 // Send lists: my inner rows that appear in peer j's
                 // boundary block owned by me.
-                let mut global_to_inner = std::collections::HashMap::new();
+                let mut global_to_inner = std::collections::BTreeMap::new();
                 for (li, &v) in inner_i.iter().enumerate() {
                     global_to_inner.insert(v, li);
                 }

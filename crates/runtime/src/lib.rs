@@ -144,6 +144,9 @@ impl Shared {
     fn enqueue(&self, idx: usize) {
         let mut q = self.queue.lock().unwrap();
         q.push_back(idx);
+        // The edge to WeightedSampler::len (which locks `state`) is a
+        // name collision, not a real call.
+        // bns-allow(BNS-A003): VecDeque::len, not WeightedSampler::len
         let depth = q.len() as u64;
         drop(q);
         self.max_ready_depth.fetch_max(depth, Ordering::Relaxed);
@@ -273,6 +276,9 @@ where
         .panic
         .lock()
         .unwrap_or_else(|e| e.into_inner())
+        // The edge to Reader::take (whose .len() reaches the sampler
+        // `state` lock) is a name collision.
+        // bns-allow(BNS-A003): Option::take, not Reader::take
         .take();
     if let Some(p) = payload {
         panic::resume_unwind(p);
@@ -304,6 +310,9 @@ fn worker_loop(shared: &Shared, slots: &[Mutex<Box<dyn Task + '_>>], w: usize) {
                 if let Some(idx) = q.pop_front() {
                     break idx;
                 }
+                // The edge to JobBatch::wait (which locks
+                // `completed`) is a name collision.
+                // bns-allow(BNS-A003): Condvar::wait, not JobBatch::wait
                 q = shared.available.wait(q).unwrap();
             }
         };

@@ -2,13 +2,14 @@
 //! and stepped time series.
 //!
 //! All writers are lock-light: counters and gauges hit a shared
-//! `RwLock<HashMap>` read lock plus one atomic op on the hot path;
+//! `RwLock<BTreeMap>` read lock plus one atomic op on the hot path
+//! (a `BTreeMap`: iteration order is part of the determinism contract);
 //! registration (first touch of a name) takes the write lock once.
 //! Every write is a no-op unless capture is enabled.
 
 use crate::is_enabled;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -64,19 +65,19 @@ pub const DEFAULT_BUCKETS: [f64; 13] = [
 ];
 
 struct Registry {
-    counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
-    gauges: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
-    histograms: RwLock<HashMap<&'static str, Arc<Histogram>>>,
-    series: Mutex<HashMap<&'static str, Vec<(u64, f64)>>>,
+    counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+    series: Mutex<BTreeMap<&'static str, Vec<(u64, f64)>>>,
 }
 
 fn registry() -> &'static Registry {
     static REGISTRY: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
-        counters: RwLock::new(HashMap::new()),
-        gauges: RwLock::new(HashMap::new()),
-        histograms: RwLock::new(HashMap::new()),
-        series: Mutex::new(HashMap::new()),
+        counters: RwLock::new(BTreeMap::new()),
+        gauges: RwLock::new(BTreeMap::new()),
+        histograms: RwLock::new(BTreeMap::new()),
+        series: Mutex::new(BTreeMap::new()),
     })
 }
 
@@ -88,7 +89,7 @@ fn registry() -> &'static Registry {
 /// the `else` branch and self-deadlocks the calling thread the first
 /// time a metric name is created.
 fn handle_in<T>(
-    map: &RwLock<HashMap<&'static str, Arc<T>>>,
+    map: &RwLock<BTreeMap<&'static str, Arc<T>>>,
     name: &'static str,
     init: impl FnOnce() -> T,
 ) -> Arc<T> {

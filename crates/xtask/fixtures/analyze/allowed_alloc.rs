@@ -1,0 +1,8 @@
+//! BNS-A000/A005 fixture: an allowlisted hot-path allocation; the
+//! bless cycle registers it in the ledger.
+
+pub fn hot_entry_allowed() -> Vec<u8> {
+    // bns-allow(BNS-A005): fixture exception with a written reason
+    let staged = vec![0u8; 8];
+    staged
+}

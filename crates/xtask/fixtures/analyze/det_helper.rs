@@ -1,0 +1,9 @@
+//! Reached from `det_kernel.rs`; both sites here must be reported.
+
+pub fn scale(x: f32) -> f32 {
+    let t = std::time::Instant::now();
+    let mut m = std::collections::HashMap::new();
+    m.insert(0u8, x);
+    let _ = t.elapsed();
+    x
+}

@@ -1,0 +1,6 @@
+//! BNS-A001 fixture: the kernel entry reaches nondeterminism through a
+//! helper in a different file.
+
+pub fn kernel_entry(x: f32) -> f32 {
+    scale(x)
+}

@@ -1,0 +1,18 @@
+//! BNS-A002 fixture: one literal read, one through a const; the
+//! fixture README documents only the `BNS_FIXTURE_GAIN` variable.
+
+const ENV_GAIN: &str = "BNS_FIXTURE_GAIN";
+
+pub fn workers() -> usize {
+    std::env::var("BNS_FIXTURE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+pub fn gain() -> f32 {
+    std::env::var(ENV_GAIN)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}

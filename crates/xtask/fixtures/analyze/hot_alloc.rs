@@ -1,0 +1,26 @@
+//! BNS-A005 fixture: `hot_entry` reaches three allocation shapes via
+//! `stage`; the arena `take` is the sanctioned cut, so its own
+//! allocation must NOT be reported.
+
+pub struct Arena {
+    buf: Vec<f32>,
+}
+
+impl Arena {
+    pub fn take(&mut self) -> Vec<f32> {
+        let grown = self.buf.to_vec();
+        grown
+    }
+}
+
+pub fn hot_entry(arena: &mut Arena) -> Vec<f32> {
+    let mut out = arena.take();
+    out.extend_from_slice(&stage());
+    out
+}
+
+fn stage() -> Vec<f32> {
+    let mut acc: Vec<f32> = Vec::new();
+    acc.extend_from_slice(&vec![0.0f32; 4]);
+    acc.to_vec()
+}

@@ -1,0 +1,34 @@
+//! BNS-A003 fixture: the declared order is `slots -> queue`, so every
+//! `queue`-then-`slots` nesting here is an inversion.
+
+pub struct Sched {
+    slots: std::sync::Mutex<Vec<u32>>,
+    queue: std::sync::Mutex<Vec<u32>>,
+}
+
+impl Sched {
+    pub fn drain(&self) {
+        let q = self.queue.lock().unwrap();
+        let s = self.slots.lock().unwrap();
+        drop(s);
+        drop(q);
+    }
+
+    pub fn relock(&self) {
+        let a = self.queue.lock().unwrap();
+        let b = self.queue.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn indirect(&self) {
+        let q = self.queue.lock().unwrap();
+        self.touch_slots();
+        drop(q);
+    }
+
+    fn touch_slots(&self) {
+        let s = self.slots.lock().unwrap();
+        drop(s);
+    }
+}

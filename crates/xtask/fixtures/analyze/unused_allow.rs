@@ -1,0 +1,7 @@
+//! BNS-A000 fixture: an allow that suppresses nothing must be deleted,
+//! not blessed.
+
+pub fn quiet() -> u32 {
+    // bns-allow(BNS-A005): stale exception kept around by mistake
+    7
+}

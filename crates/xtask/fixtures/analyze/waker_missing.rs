@@ -1,0 +1,40 @@
+//! BNS-A004 fixture: `Bad::step` parks on `try_recv` but `Bad::bind`
+//! never registers a waker; `Good` does and must stay silent.
+
+pub struct Mailbox;
+
+impl Mailbox {
+    pub fn try_recv(&self) -> Option<u32> {
+        None
+    }
+
+    pub fn set_waker(&self, wake: fn()) {
+        let _ = wake;
+    }
+}
+
+pub struct Bad {
+    mbox: Mailbox,
+}
+
+impl Task for Bad {
+    fn step(&mut self) {
+        let _ = self.mbox.try_recv();
+    }
+
+    fn bind(&mut self) {}
+}
+
+pub struct Good {
+    mbox: Mailbox,
+}
+
+impl Task for Good {
+    fn step(&mut self) {
+        let _ = self.mbox.try_recv();
+    }
+
+    fn bind(&mut self) {
+        self.mbox.set_waker(|| {});
+    }
+}

@@ -1,0 +1,313 @@
+//! Intra-workspace call graph over the parsed functions.
+//!
+//! Resolution is name-based and deliberately **over-approximate**, but
+//! shaped to keep the false-edge volume reviewable:
+//!
+//! * `Type::name(…)` resolves exactly against workspace `impl` blocks
+//!   (`Self::` maps to the caller's impl type). A capitalized qualifier
+//!   with no workspace impl is an external type (`Vec::new`,
+//!   `Box::new`) and produces **no** edge — rules catch direct std
+//!   calls by token pattern in the caller instead.
+//! * `module::func(…)` and bare `func(…)` resolve to every workspace
+//!   **free** function with that name.
+//! * `.name(…)` method calls resolve to every workspace function named
+//!   `name` that takes a `self` receiver — `.load(Ordering)` on an
+//!   atomic must not resolve to an associated `Type::load(path)`.
+//!
+//! A static determinism lint must never miss a real edge, so remaining
+//! false edges (same-named methods on unrelated types) are the right
+//! trade against false clean passes; intentional hits they produce are
+//! allowlisted with a written reason.
+//!
+//! All maps are `BTreeMap` and all visit orders index-based, so reports
+//! are byte-stable across runs — the analyzer is held to the same
+//! determinism bar it enforces.
+
+use super::parser::{Event, Function};
+use std::collections::BTreeMap;
+
+/// Function id: index into the workspace function list.
+pub type FnId = usize;
+
+/// The resolved call graph.
+pub struct CallGraph {
+    /// Outgoing edges per function, deduplicated, ascending.
+    pub calls: Vec<Vec<FnId>>,
+    /// Free functions (no `self` receiver) by bare name.
+    free_by_name: BTreeMap<String, Vec<FnId>>,
+    /// Receiver-taking functions by bare name.
+    methods_by_name: BTreeMap<String, Vec<FnId>>,
+    /// Functions by `Type::name`.
+    by_qualified: BTreeMap<String, Vec<FnId>>,
+}
+
+impl CallGraph {
+    /// Builds the graph. Test functions neither create out-edges nor
+    /// are resolution targets — test code is outside every rule's
+    /// scope, and routing production reachability through a test helper
+    /// would fabricate paths.
+    pub fn build(fns: &[Function]) -> Self {
+        let mut free_by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut by_qualified: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            if f.has_self {
+                methods_by_name.entry(f.name.clone()).or_default().push(id);
+            } else {
+                free_by_name.entry(f.name.clone()).or_default().push(id);
+            }
+            by_qualified.entry(f.qualified()).or_default().push(id);
+        }
+        let mut graph = CallGraph {
+            calls: Vec::with_capacity(fns.len()),
+            free_by_name,
+            methods_by_name,
+            by_qualified,
+        };
+        for f in fns {
+            let mut out: Vec<FnId> = Vec::new();
+            if !f.is_test {
+                for ev in &f.events {
+                    out.extend(graph.resolve_event(ev, f.impl_type.as_deref()));
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            graph.calls.push(out);
+        }
+        graph
+    }
+
+    /// Resolves a single call-shaped event to its candidate callees —
+    /// the same rules [`CallGraph::build`] uses for edges, exposed so
+    /// rules can replay a body's events in order (the lock-order rule
+    /// needs to know *where* in a function a callee's transitive locks
+    /// are taken). `caller_impl` is the caller's `impl` type, used to
+    /// resolve `Self::` paths.
+    pub fn resolve_event(&self, ev: &Event, caller_impl: Option<&str>) -> Vec<FnId> {
+        match ev {
+            Event::Call { segments, .. } => self.resolve_call(segments, caller_impl),
+            Event::MethodCall { name, .. } => {
+                self.methods_by_name.get(name).cloned().unwrap_or_default()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn resolve_call(&self, segments: &[String], caller_impl: Option<&str>) -> Vec<FnId> {
+        let Some(last) = segments.last() else {
+            return Vec::new();
+        };
+        if segments.len() >= 2 {
+            let mut qual = segments[segments.len() - 2].as_str();
+            if qual == "Self" {
+                if let Some(t) = caller_impl {
+                    qual = t;
+                }
+            }
+            if let Some(ids) = self.by_qualified.get(&format!("{qual}::{last}")) {
+                return ids.clone();
+            }
+            // Capitalized qualifier with no workspace impl: an external
+            // type's associated fn (`Vec::new`) — not a workspace edge.
+            if qual.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                return Vec::new();
+            }
+            // `module::func(…)` — fall through to free-fn resolution.
+        }
+        self.free_by_name
+            .get(last.as_str())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Functions matching a config entry-point name: `Type::method`
+    /// resolves qualified, a bare name matches any function (free or
+    /// method) with that name.
+    pub fn resolve_name(&self, name: &str) -> Vec<FnId> {
+        if name.contains("::") {
+            return self.by_qualified.get(name).cloned().unwrap_or_default();
+        }
+        let mut out = self.free_by_name.get(name).cloned().unwrap_or_default();
+        out.extend(self.methods_by_name.get(name).cloned().unwrap_or_default());
+        out.sort_unstable();
+        out
+    }
+
+    /// BFS from `roots`, never descending **into** `stop` functions
+    /// (they are visited but their callees are not — the arena
+    /// allowlist cut). Returns, per reached function, the id of the
+    /// caller it was first reached from (roots map to themselves), so
+    /// rules can reconstruct an example path for diagnostics.
+    pub fn reach(&self, roots: &[FnId], stop: &[FnId]) -> BTreeMap<FnId, FnId> {
+        let mut parent: BTreeMap<FnId, FnId> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<FnId> = std::collections::VecDeque::new();
+        for &r in roots {
+            if parent.insert(r, r).is_none() {
+                queue.push_back(r);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            if stop.contains(&id) {
+                continue;
+            }
+            for &callee in &self.calls[id] {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(callee) {
+                    e.insert(id);
+                    queue.push_back(callee);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Example path root -> … -> `target` from a [`CallGraph::reach`]
+    /// parent map, rendered as qualified names.
+    pub fn path_to(&self, parent: &BTreeMap<FnId, FnId>, target: FnId, fns: &[Function]) -> String {
+        let mut chain = vec![target];
+        let mut cur = target;
+        // Parent maps are acyclic by construction (first-reach), but
+        // bound the walk anyway.
+        for _ in 0..parent.len() + 1 {
+            let Some(&p) = parent.get(&cur) else { break };
+            if p == cur {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+            .iter()
+            .map(|&id| fns[id].qualified())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::parser::{parse_functions, SourceFile};
+
+    fn graph(src: &str) -> (Vec<Function>, CallGraph) {
+        let sf = SourceFile::parse("t.rs".into(), src.to_string());
+        let fns = parse_functions(&sf, 0, false);
+        let cg = CallGraph::build(&fns);
+        (fns, cg)
+    }
+
+    #[test]
+    fn reachability_with_paths() {
+        let src = r#"
+            fn entry() { mid(); }
+            fn mid() { leaf(); }
+            fn leaf() {}
+            fn unrelated() {}
+        "#;
+        let (fns, cg) = graph(src);
+        let roots = cg.resolve_name("entry");
+        let reach = cg.reach(&roots, &[]);
+        assert_eq!(reach.len(), 3);
+        let leaf = cg.resolve_name("leaf")[0];
+        assert!(!reach.contains_key(&cg.resolve_name("unrelated")[0]));
+        assert_eq!(cg.path_to(&reach, leaf, &fns), "entry -> mid -> leaf");
+    }
+
+    #[test]
+    fn qualified_resolution_beats_bare() {
+        let src = r#"
+            struct A; struct B;
+            impl A { fn go(&self) {} }
+            impl B { fn go(&self) {} }
+            fn f() { A::go(); }
+            fn g(x: &B) { x.go(); }
+        "#;
+        let (fns, cg) = graph(src);
+        let f = cg.resolve_name("f")[0];
+        assert_eq!(cg.calls[f].len(), 1, "A::go resolves exactly");
+        assert_eq!(fns[cg.calls[f][0]].qualified(), "A::go");
+        // Method call over-approximates to both impls.
+        let g = cg.resolve_name("g")[0];
+        assert_eq!(cg.calls[g].len(), 2);
+    }
+
+    #[test]
+    fn method_calls_only_resolve_to_receiver_fns() {
+        let src = r#"
+            struct Model;
+            impl Model { fn load(path: &str) -> Model { Model } }
+            fn f(x: &AtomicUsize) { x.load(Ordering::SeqCst); }
+        "#;
+        let (_fns, cg) = graph(src);
+        let f = cg.resolve_name("f")[0];
+        assert!(
+            cg.calls[f].is_empty(),
+            "`.load()` must not resolve to the associated fn Model::load"
+        );
+    }
+
+    #[test]
+    fn external_type_assoc_fns_are_not_edges() {
+        let src = r#"
+            fn new() {}
+            fn f() { let v = Vec::new(); helper::new(); Self_like(); }
+        "#;
+        let (fns, cg) = graph(src);
+        let f = cg.resolve_name("f")[0];
+        // `Vec::new` (external type) produces no edge; `helper::new`
+        // (module path) falls back to the free fn `new`.
+        assert_eq!(cg.calls[f].len(), 1);
+        assert_eq!(fns[cg.calls[f][0]].name, "new");
+    }
+
+    #[test]
+    fn self_paths_resolve_to_the_impl_type() {
+        let src = r#"
+            struct S;
+            impl S {
+                fn a(&self) { Self::b(); }
+                fn b() {}
+            }
+        "#;
+        let (fns, cg) = graph(src);
+        let a = cg.resolve_name("S::a")[0];
+        assert_eq!(cg.calls[a].len(), 1);
+        assert_eq!(fns[cg.calls[a][0]].qualified(), "S::b");
+    }
+
+    #[test]
+    fn stop_fns_cut_traversal() {
+        let src = r#"
+            fn entry() { arena(); }
+            fn arena() { alloc(); }
+            fn alloc() {}
+        "#;
+        let (_fns, cg) = graph(src);
+        let roots = cg.resolve_name("entry");
+        let stop = cg.resolve_name("arena");
+        let reach = cg.reach(&roots, &stop);
+        assert!(reach.contains_key(&cg.resolve_name("arena")[0]));
+        assert!(!reach.contains_key(&cg.resolve_name("alloc")[0]));
+    }
+
+    #[test]
+    fn test_code_is_outside_the_graph() {
+        let src = r#"
+            fn entry() {}
+            #[cfg(test)]
+            mod tests {
+                fn entry() { super::hidden(); }
+            }
+            fn hidden() {}
+        "#;
+        let (_fns, cg) = graph(src);
+        let roots = cg.resolve_name("entry");
+        assert_eq!(roots.len(), 1, "test fn is not a resolution target");
+        let reach = cg.reach(&roots, &[]);
+        assert_eq!(reach.len(), 1, "no edges out of test code");
+    }
+}

@@ -1,0 +1,383 @@
+//! The analyzer's allowlist: `// bns-allow(RULE): reason` comments
+//! mirrored in a hash-keyed `ANALYZE_LEDGER.md`, with the same
+//! invalidation discipline as `UNSAFE_LEDGER.md` — the context hash
+//! covers the rule, the covered code line, and the written reason, so
+//! editing any of them invalidates the ledger row and forces a
+//! deliberate `cargo xtask analyze --bless` after review.
+//!
+//! An allow comment suppresses findings of exactly one rule on the
+//! line it covers: the same line for a trailing comment, the next code
+//! line for a comment on its own line. Three meta findings (rule
+//! `BNS-A000`) keep the system honest: an allow in use but missing
+//! from the ledger, a ledger row whose allow is gone, and an allow
+//! that no longer suppresses anything (stale comments must be removed,
+//! not accumulated).
+
+use super::diag::Finding;
+use super::parser::SourceFile;
+use crate::analyze::lexer::TokenKind;
+use crate::fnv1a64;
+use std::collections::BTreeMap;
+
+/// Meta-rule id for allowlist bookkeeping findings.
+pub const META_RULE: &str = "BNS-A000";
+pub const META_NAME: &str = "allow-ledger";
+
+/// One parsed `// bns-allow(RULE): reason` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Rule id the allow targets (`BNS-A001`, …).
+    pub rule: String,
+    /// The written justification (required).
+    pub reason: String,
+    /// 1-based line of the comment itself.
+    pub comment_line: usize,
+    /// 1-based line the allow covers (same line for trailing comments,
+    /// next code line otherwise).
+    pub covered_line: usize,
+    /// FNV-1a 64 over `rule | covered code line (trimmed) | reason`.
+    pub key: u64,
+}
+
+/// Extracts every allow comment from one parsed file.
+pub fn collect_allows(sf: &SourceFile) -> Vec<Allow> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = sf.text.lines().collect();
+    for tok in &sf.tokens {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = tok.text(&sf.text);
+        let Some((rule, reason)) = parse_allow_comment(text) else {
+            continue;
+        };
+        let comment_line = sf.line_of(tok.start);
+        // Trailing comment: code precedes it on the same line.
+        let line_text = lines.get(comment_line - 1).copied().unwrap_or("");
+        let before = &line_text[..line_text.find("//").unwrap_or(0)];
+        let covered_line = if !before.trim().is_empty() {
+            comment_line
+        } else {
+            // Next non-comment, non-blank line.
+            let mut l = comment_line; // 0-based index of the next line
+            loop {
+                match lines.get(l) {
+                    None => break comment_line,
+                    Some(t) if t.trim().is_empty() || t.trim().starts_with("//") => l += 1,
+                    Some(_) => break l + 1,
+                }
+            }
+        };
+        let covered_text = lines.get(covered_line - 1).map(|l| l.trim()).unwrap_or("");
+        let key = allow_key(&rule, covered_text, &reason);
+        out.push(Allow {
+            file: sf.rel.clone(),
+            rule,
+            reason,
+            comment_line,
+            covered_line,
+            key,
+        });
+    }
+    out
+}
+
+/// `bns-allow(BNS-A003): the reason text` -> (rule, reason). The
+/// comment may carry leading `//`/`//!` markers and indentation.
+fn parse_allow_comment(comment: &str) -> Option<(String, String)> {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim();
+    let rest = body.strip_prefix("bns-allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    if rule.is_empty() {
+        return None;
+    }
+    let reason = rest[close + 1..].trim_start_matches(':').trim().to_string();
+    Some((rule, reason))
+}
+
+/// The allow's ledger key.
+pub fn allow_key(rule: &str, covered_text: &str, reason: &str) -> u64 {
+    fnv1a64(format!("{rule}|{covered_text}|{reason}").as_bytes())
+}
+
+/// `(file, rule, key) -> count` as recorded in ANALYZE_LEDGER.md.
+pub type AllowLedger = BTreeMap<(String, String, u64), usize>;
+
+/// Parses the checked-in ledger (markdown table, same shape as
+/// UNSAFE_LEDGER.md).
+pub fn parse_allow_ledger(text: &str) -> AllowLedger {
+    let mut out = AllowLedger::new();
+    for line in text.lines() {
+        let t = line.trim();
+        if !t.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = t.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 4 || cells[0] == "File" || cells[0].starts_with("---") {
+            continue;
+        }
+        let file = cells[0].trim_matches('`').to_string();
+        let rule = cells[1].trim_matches('`').to_string();
+        let Some(key) = cells[2]
+            .trim_matches('`')
+            .strip_prefix("0x")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+        else {
+            continue;
+        };
+        *out.entry((file, rule, key)).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Renders the ledger from the in-use allows.
+pub fn render_allow_ledger(allows: &[Allow]) -> String {
+    let mut out = String::from("# Analyze Allowlist Ledger\n\n");
+    out.push_str(
+        "Every `// bns-allow(rule): reason` comment the static analyzer\n\
+         (`cargo xtask analyze`) honors, keyed by an FNV-1a 64 hash of the rule,\n\
+         the covered code line, and the written reason. Editing any of the three\n\
+         invalidates the row; after reviewing the change, regenerate this file\n\
+         with `cargo xtask analyze --bless`. An allow that stops suppressing a\n\
+         finding must be deleted from the source, not re-blessed.\n\
+         Generated file — do not edit rows by hand.\n\n",
+    );
+    out.push_str("| File | Rule | Context hash | Reason |\n");
+    out.push_str("|---|---|---|---|\n");
+    let mut sorted: Vec<&Allow> = allows.iter().collect();
+    sorted.sort_by(|a, b| {
+        (&a.file, a.covered_line, &a.rule).cmp(&(&b.file, b.covered_line, &b.rule))
+    });
+    for a in sorted {
+        out.push_str(&format!(
+            "| `{}` | `{}` | `0x{:016x}` | {} |\n",
+            a.file,
+            a.rule,
+            a.key,
+            a.reason.replace('|', "/")
+        ));
+    }
+    out
+}
+
+/// Splits raw rule findings into (surviving, used allows) and appends
+/// the meta findings that keep comments and ledger in sync.
+pub struct AllowOutcome {
+    /// Findings not suppressed by any allow, plus meta findings.
+    pub findings: Vec<Finding>,
+    /// Allows that suppressed at least one finding.
+    pub used: Vec<Allow>,
+}
+
+pub fn apply_allows(raw: Vec<Finding>, allows: &[Allow], ledger: &AllowLedger) -> AllowOutcome {
+    let mut used_flags = vec![false; allows.len()];
+    let mut findings = Vec::new();
+    for f in raw {
+        let matched = allows
+            .iter()
+            .position(|a| a.file == f.file && a.rule == f.rule && a.covered_line == f.line);
+        match matched {
+            Some(i) => used_flags[i] = true,
+            None => findings.push(f),
+        }
+    }
+    let used: Vec<Allow> = allows
+        .iter()
+        .zip(&used_flags)
+        .filter(|(_, &u)| u)
+        .map(|(a, _)| a.clone())
+        .collect();
+
+    // Meta: every in-use allow must be ledgered, with matching counts.
+    let mut seen: AllowLedger = AllowLedger::new();
+    for a in &used {
+        *seen
+            .entry((a.file.clone(), a.rule.clone(), a.key))
+            .or_insert(0) += 1;
+    }
+    for a in &used {
+        let key = (a.file.clone(), a.rule.clone(), a.key);
+        let live = seen[&key];
+        match ledger.get(&key) {
+            Some(&n) if n == live => {}
+            Some(&n) => findings.push(meta_finding(
+                a,
+                format!(
+                    "allow appears {live} time(s) but the ledger records {n}; \
+                     re-bless after review"
+                ),
+                true,
+            )),
+            None => findings.push(meta_finding(
+                a,
+                format!(
+                    "allow 0x{:016x} is not registered in ANALYZE_LEDGER.md; review it \
+                     and run `cargo xtask analyze --bless`",
+                    a.key
+                ),
+                true,
+            )),
+        }
+    }
+    // Meta: unused allow comments are dead suppressions — delete them.
+    for (a, &u) in allows.iter().zip(&used_flags) {
+        if !u {
+            findings.push(meta_finding(
+                a,
+                format!(
+                    "allow for {} suppresses no finding; the code changed — remove \
+                     the stale `bns-allow` comment",
+                    a.rule
+                ),
+                false,
+            ));
+        }
+    }
+    // Meta: ledger rows whose allow is gone.
+    for ((file, rule, key), _) in ledger.iter() {
+        if !seen.contains_key(&(file.clone(), rule.clone(), *key)) {
+            findings.push(Finding {
+                rule: META_RULE.into(),
+                name: META_NAME.into(),
+                file: "ANALYZE_LEDGER.md".into(),
+                line: 1,
+                message: format!(
+                    "ledger row ({file}, {rule}, 0x{key:016x}) matches no in-use allow; \
+                     the code changed — re-bless after review"
+                ),
+                note: None,
+                key: *key,
+                blessable: true,
+            });
+        }
+    }
+    AllowOutcome { findings, used }
+}
+
+fn meta_finding(a: &Allow, message: String, blessable: bool) -> Finding {
+    Finding {
+        rule: META_RULE.into(),
+        name: META_NAME.into(),
+        file: a.file.clone(),
+        line: a.comment_line,
+        message,
+        note: Some(format!("reason on record: {}", a.reason)),
+        key: a.key,
+        blessable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(src: &str) -> SourceFile {
+        SourceFile::parse("f.rs".into(), src.to_string())
+    }
+
+    #[test]
+    fn parses_own_line_and_trailing_allows() {
+        let src = "\
+// bns-allow(BNS-A001): registry lookup only
+let m = HashMap::new();
+let t = Instant::now(); // bns-allow(BNS-A001): telemetry site
+";
+        let allows = collect_allows(&sf(src));
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0].rule, "BNS-A001");
+        assert_eq!(allows[0].covered_line, 2);
+        assert_eq!(allows[0].reason, "registry lookup only");
+        assert_eq!(allows[1].covered_line, 3);
+        assert_eq!(allows[1].reason, "telemetry site");
+    }
+
+    #[test]
+    fn own_line_allow_skips_comment_continuations() {
+        let src = "\
+// bns-allow(BNS-A005): arena steady state
+// (reached via take_buf)
+let v = vec![0.0; n];
+";
+        let allows = collect_allows(&sf(src));
+        assert_eq!(allows[0].covered_line, 3);
+    }
+
+    #[test]
+    fn key_covers_rule_line_and_reason() {
+        let a = allow_key("BNS-A001", "let m = HashMap::new();", "why");
+        assert_ne!(a, allow_key("BNS-A002", "let m = HashMap::new();", "why"));
+        assert_ne!(a, allow_key("BNS-A001", "let m = HashMap::new() ;", "why"));
+        assert_ne!(a, allow_key("BNS-A001", "let m = HashMap::new();", "other"));
+    }
+
+    #[test]
+    fn ledger_roundtrip() {
+        let src = "// bns-allow(BNS-A001): fine\nlet m = HashMap::new();\n";
+        let allows = collect_allows(&sf(src));
+        let text = render_allow_ledger(&allows);
+        let parsed = parse_allow_ledger(&text);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(
+            parsed[&("f.rs".to_string(), "BNS-A001".to_string(), allows[0].key)],
+            1
+        );
+    }
+
+    fn raw_finding(file: &str, rule: &str, line: usize) -> Finding {
+        Finding {
+            rule: rule.into(),
+            name: "x".into(),
+            file: file.into(),
+            line,
+            message: "m".into(),
+            note: None,
+            key: 0,
+            blessable: false,
+        }
+    }
+
+    #[test]
+    fn apply_suppresses_and_flags_bookkeeping() {
+        let src = "// bns-allow(BNS-A001): fine\nlet m = HashMap::new();\n// bns-allow(BNS-A003): dead\nlet x = 1;\n";
+        let allows = collect_allows(&sf(src));
+        let raw = vec![
+            raw_finding("f.rs", "BNS-A001", 2),
+            raw_finding("f.rs", "BNS-A009", 2),
+        ];
+        // Empty ledger: the used allow is unledgered, the unused one
+        // stale, the unmatched finding survives.
+        let out = apply_allows(raw, &allows, &AllowLedger::new());
+        assert_eq!(out.used.len(), 1);
+        assert!(out.findings.iter().any(|f| f.rule == "BNS-A009"));
+        assert!(out
+            .findings
+            .iter()
+            .any(|f| f.rule == META_RULE && f.message.contains("not registered")));
+        assert!(out
+            .findings
+            .iter()
+            .any(|f| f.rule == META_RULE && f.message.contains("suppresses no finding")));
+
+        // Ledger in sync: only the unused-allow meta finding remains.
+        let ledger = parse_allow_ledger(&render_allow_ledger(&out.used));
+        let raw = vec![raw_finding("f.rs", "BNS-A001", 2)];
+        let out = apply_allows(raw, &allows, &ledger);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert!(out.findings[0].message.contains("suppresses no finding"));
+    }
+
+    #[test]
+    fn stale_ledger_row_is_flagged() {
+        let mut ledger = AllowLedger::new();
+        ledger.insert(("gone.rs".into(), "BNS-A001".into(), 7), 1);
+        let out = apply_allows(Vec::new(), &[], &ledger);
+        assert_eq!(out.findings.len(), 1);
+        assert!(out.findings[0].message.contains("matches no in-use allow"));
+    }
+}

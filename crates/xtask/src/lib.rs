@@ -39,6 +39,8 @@
 // The auditor itself must not need auditing.
 #![forbid(unsafe_code)]
 
+pub mod analyze;
+
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -90,6 +92,23 @@ impl fmt::Display for Violation {
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.message
         )
+    }
+}
+
+impl Violation {
+    /// Bridges an audit violation into the shared diagnostics type so
+    /// `audit` and `analyze` print (and emit `--json`) identically.
+    pub fn to_finding(&self) -> analyze::diag::Finding {
+        analyze::diag::Finding {
+            rule: "AUDIT".into(),
+            name: self.rule.to_string(),
+            file: self.file.clone(),
+            line: self.line,
+            message: self.message.clone(),
+            note: None,
+            key: 0,
+            blessable: false,
+        }
     }
 }
 
@@ -184,14 +203,16 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Strips line comments and the contents of string/char literals so
-/// keyword scans don't fire inside text. Line-local by design: the
-/// workspace style keeps multi-line string literals out of kernel and
-/// unsafe code, and the fixtures pin the cases that matter.
+/// Strips line comments and the contents of string/char literals —
+/// including raw strings (`r"…"`, `r#"…"#`, `br"…"`) — so keyword
+/// scans don't fire inside text. Line-local by design: the workspace
+/// style keeps multi-line string literals out of kernel and unsafe
+/// code, and the fixtures pin the cases that matter.
 fn strip_code(line: &str) -> String {
     let mut out = String::with_capacity(line.len());
     let mut chars = line.chars().peekable();
     let mut in_str = false;
+    let mut prev: Option<char> = None;
     while let Some(c) = chars.next() {
         if in_str {
             match c {
@@ -201,11 +222,65 @@ fn strip_code(line: &str) -> String {
                 '"' => {
                     in_str = false;
                     out.push('"');
+                    prev = Some('"');
                 }
                 _ => {}
             }
             continue;
         }
+        // Raw (and raw-byte) string literals: no escapes, delimited by
+        // `"` plus the opening `#` count. `r` must start the literal
+        // token (not be the tail of an identifier like `var`).
+        let word_boundary = !prev.is_some_and(|p| p.is_ascii_alphanumeric() || p == '_');
+        if (c == 'r' || c == 'b') && word_boundary {
+            let mut look = chars.clone();
+            let mut prefix = String::new();
+            if c == 'b' {
+                match look.next() {
+                    Some('r') => prefix.push('r'),
+                    _ => {
+                        prev = Some(c);
+                        out.push(c);
+                        continue;
+                    }
+                }
+            }
+            let mut hashes = 0usize;
+            let mut next = look.next();
+            while next == Some('#') {
+                hashes += 1;
+                next = look.next();
+            }
+            if next == Some('"') {
+                // Consume the prefix we peeked past, then skip to the
+                // closing quote + hash run (or end of line: the
+                // stripper stays line-local, so an unterminated raw
+                // string elides the rest of the line).
+                for _ in 0..prefix.len() + hashes + 1 {
+                    chars.next();
+                }
+                out.push('"');
+                let closer: String = std::iter::once('"')
+                    .chain("#".repeat(hashes).chars())
+                    .collect();
+                let rest: String = chars.clone().collect();
+                match rest.find(&closer) {
+                    Some(pos) => {
+                        for _ in 0..pos + closer.chars().count() {
+                            chars.next();
+                        }
+                        out.push('"');
+                    }
+                    None => while chars.next().is_some() {},
+                }
+                prev = Some('"');
+                continue;
+            }
+            prev = Some(c);
+            out.push(c);
+            continue;
+        }
+        prev = Some(c);
         match c {
             '"' => {
                 in_str = true;
@@ -465,9 +540,10 @@ fn scan_file(cfg: &AuditConfig, rel: &str, content: &str) -> FileScan {
     FileScan { violations, sites }
 }
 
-/// Recursively collects `.rs` files under `root`, honoring `cfg.skip`,
-/// sorted for deterministic reports.
-pub fn walk_rust_files(cfg: &AuditConfig) -> std::io::Result<Vec<PathBuf>> {
+/// Recursively collects `.rs` files under `root`, honoring the `skip`
+/// prefixes, sorted for deterministic reports. Shared by `audit` and
+/// `analyze` so the two passes always agree on what the workspace is.
+pub fn walk_rust_files(root: &Path, skip: &[String]) -> std::io::Result<Vec<PathBuf>> {
     fn rec(
         dir: &Path,
         root: &Path,
@@ -495,11 +571,11 @@ pub fn walk_rust_files(cfg: &AuditConfig) -> std::io::Result<Vec<PathBuf>> {
         Ok(())
     }
     let mut out = Vec::new();
-    rec(&cfg.root, &cfg.root, &cfg.skip, &mut out)?;
+    rec(root, root, skip, &mut out)?;
     Ok(out)
 }
 
-fn rel_path(root: &Path, p: &Path) -> String {
+pub fn rel_path(root: &Path, p: &Path) -> String {
     p.strip_prefix(root)
         .unwrap_or(p)
         .to_string_lossy()
@@ -508,7 +584,7 @@ fn rel_path(root: &Path, p: &Path) -> String {
 
 /// Runs the full audit (rules 1, 3, 4 plus the ledger cross-check).
 pub fn audit(cfg: &AuditConfig) -> std::io::Result<AuditReport> {
-    let files = walk_rust_files(cfg)?;
+    let files = walk_rust_files(&cfg.root, &cfg.skip)?;
     let mut violations = Vec::new();
     let mut sites: Vec<UnsafeSite> = Vec::new();
     for f in &files {
@@ -674,6 +750,40 @@ mod tests {
             &word
         ));
         assert!(!has_word(&strip_code(&format!("x(); // {word}")), &word));
+    }
+
+    #[test]
+    fn strip_elides_raw_string_contents() {
+        // A raw string containing a banned keyword must not fire...
+        let spawn = ["thread", "::spawn"].concat();
+        assert!(!has_word(
+            &strip_code(&format!("let s = r\"{spawn}\";")),
+            &spawn
+        ));
+        let word = ["un", "safe"].concat();
+        assert!(!has_word(
+            &strip_code(&format!("let s = r#\"{word}\"#;")),
+            &word
+        ));
+        assert!(!has_word(
+            &strip_code(&format!("let s = br\"{word}\";")),
+            &word
+        ));
+        // ...and a raw string must not mask code after it (the closing
+        // quote of `r"\"` is the first `"`, not an escaped one).
+        let code = strip_code(&format!("let s = r\"\\\"; {word} {{}}"));
+        assert!(has_word(&code, &word), "code after raw string kept: {code}");
+        // Hashed delimiters: `"#` inside `r##"…"##` does not close it.
+        let code = strip_code(&format!("let s = r##\"x\"# {word}\"##; f()"));
+        assert!(!has_word(&code, &word));
+        assert!(code.contains("f()"));
+        // `r` as an identifier tail is not a raw-string prefix.
+        assert_eq!(strip_code("let var = 1;"), "let var = 1;");
+        assert_eq!(strip_code("for r in v {}"), "for r in v {}");
+        // Unterminated on this line: rest of the line is elided
+        // (line-local stripper; multi-line raw strings stay out of
+        // kernel/unsafe code by workspace style).
+        assert!(!has_word(&strip_code(&format!("r\"{word}")), &word));
     }
 
     #[test]
